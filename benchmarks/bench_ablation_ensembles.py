@@ -1,0 +1,93 @@
+"""Ablation — multi-detector consolidation (§3 claim).
+
+DataLens lets users select several detection tools and consolidates their
+output with deduplication; Min-K trades recall for precision. This bench
+quantifies the claim: the union improves recall over every single tool,
+and Min-K(2) improves precision over the union.
+"""
+
+from __future__ import annotations
+
+from repro.detection import (
+    DetectionContext,
+    FAHESDetector,
+    IQRDetector,
+    MinKEnsemble,
+    MVDetector,
+    SDDetector,
+)
+from repro.ml import detection_scores
+
+from conftest import print_table
+
+
+def _members():
+    return [
+        SDDetector(k=2.5),
+        IQRDetector(factor=1.5),
+        MVDetector(),
+        FAHESDetector(),
+    ]
+
+
+def _evaluate(bundle) -> list[dict]:
+    context = DetectionContext()
+    rows = []
+    for detector in _members():
+        result = detector.detect(bundle.dirty, context)
+        scores = detection_scores(result.cells, bundle.mask)
+        rows.append({"tool": detector.name, **scores, "cells": len(result.cells)})
+    for k in (1, 2, 3):
+        ensemble = MinKEnsemble(_members(), k=k)
+        result = ensemble.detect(bundle.dirty, context)
+        scores = detection_scores(result.cells, bundle.mask)
+        label = "union (min-k=1)" if k == 1 else f"min-k={k}"
+        rows.append({"tool": label, **scores, "cells": len(result.cells)})
+    return rows
+
+
+def _report(name: str, rows: list[dict]) -> None:
+    print_table(
+        f"Ensemble ablation ({name}): precision/recall/F1 per configuration",
+        ["tool", "cells", "precision", "recall", "F1"],
+        [
+            [
+                row["tool"],
+                row["cells"],
+                f"{row['precision']:.3f}",
+                f"{row['recall']:.3f}",
+                f"{row['f1']:.3f}",
+            ]
+            for row in rows
+        ],
+    )
+
+
+def _assert_claims(rows: list[dict]) -> None:
+    by_tool = {row["tool"]: row for row in rows}
+    union = by_tool["union (min-k=1)"]
+    singles = [
+        by_tool[name] for name in ("sd", "iqr", "mv_detector", "fahes")
+    ]
+    assert all(union["recall"] >= single["recall"] for single in singles)
+    assert by_tool["min-k=2"]["precision"] >= union["precision"]
+
+
+def test_ensembles_nasa(benchmark, nasa_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(nasa_bundle), rounds=1, iterations=1
+    )
+    _report("NASA", rows)
+    _assert_claims(rows)
+    for row in rows:
+        benchmark.extra_info[row["tool"]] = round(row["f1"], 3)
+
+
+def test_ensembles_beers(benchmark, beers_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(beers_bundle), rounds=1, iterations=1
+    )
+    _report("Beers", rows)
+    _assert_claims(rows)
+    for row in rows:
+        benchmark.extra_info[row["tool"]] = round(row["f1"], 3)

@@ -1,0 +1,92 @@
+"""Ablation — repair strategy impact on the downstream model (§3).
+
+Fix the detector (the broad union) and swap the repair tool: the paper's
+ML-based imputation (decision tree / k-NN) should beat the standard
+mean/'Dummy' imputation on downstream performance, with HoloClean's
+co-occurrence repair in between.
+"""
+
+from __future__ import annotations
+
+from repro.core import DownstreamScorer, make_detector, make_repairer
+from repro.detection import DetectionContext
+
+from conftest import print_table
+
+REPAIRERS = ["standard_imputer", "ml_imputer", "holoclean_repair"]
+
+
+def _evaluate(bundle, task: str, target: str) -> list[dict]:
+    detector = make_detector("union_broad")
+    cells = detector.detect(bundle.dirty, DetectionContext()).cells
+    scorer = DownstreamScorer(task, target, reference=bundle.clean, seed=0)
+    rows = [
+        {
+            "repairer": "(none: dirty data)",
+            "score": scorer.score(bundle.dirty),
+            "repairs": 0,
+        }
+    ]
+    for name in REPAIRERS:
+        repairer = make_repairer(name)
+        result = repairer.repair(bundle.dirty, cells)
+        repaired = result.apply_to(bundle.dirty)
+        rows.append(
+            {
+                "repairer": name,
+                "score": scorer.score(repaired),
+                "repairs": len(result.repairs),
+            }
+        )
+    rows.append(
+        {
+            "repairer": "(ground truth)",
+            "score": scorer.score(bundle.clean),
+            "repairs": 0,
+        }
+    )
+    return rows
+
+
+def test_repair_ablation_nasa(benchmark, nasa_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(nasa_bundle, "regression", "Sound Pressure"),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Repair ablation (NASA, detector = union_broad, metric = MSE)",
+        ["repairer", "downstream MSE", "repairs applied"],
+        [
+            [row["repairer"], f"{row['score']:.2f}", row["repairs"]]
+            for row in rows
+        ],
+    )
+    by_name = {row["repairer"]: row["score"] for row in rows}
+    assert by_name["ml_imputer"] < by_name["(none: dirty data)"]
+    assert by_name["standard_imputer"] < by_name["(none: dirty data)"]
+    # The paper pairs ML imputation with its best pipelines (Fig. 5a found
+    # "Raha and ML Imputer"); it must beat naive mean imputation here.
+    assert by_name["ml_imputer"] <= by_name["standard_imputer"]
+    for row in rows:
+        benchmark.extra_info[row["repairer"]] = round(row["score"], 2)
+
+
+def test_repair_ablation_beers(benchmark, beers_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(beers_bundle, "classification", "style"),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Repair ablation (Beers, detector = union_broad, metric = macro-F1)",
+        ["repairer", "downstream macro-F1", "repairs applied"],
+        [
+            [row["repairer"], f"{row['score']:.3f}", row["repairs"]]
+            for row in rows
+        ],
+    )
+    by_name = {row["repairer"]: row["score"] for row in rows}
+    assert by_name["ml_imputer"] >= by_name["(none: dirty data)"] - 0.02
+    for row in rows:
+        benchmark.extra_info[row["repairer"]] = round(row["score"], 3)

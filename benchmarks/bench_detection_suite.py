@@ -1,0 +1,114 @@
+"""Detection-tool suite — the REIN-style table behind tool selection (§3).
+
+For every bundled dataset, run each applicable detection tool and report
+cells flagged, precision, recall, F1, and runtime against the injected
+ground truth. This is the evidence base for the paper's observation that
+"different tools excel at detecting different error types".
+"""
+
+from __future__ import annotations
+
+from repro.core import SimulatedUser
+from repro.detection import DetectionContext
+from repro.core import make_detector
+from repro.ml import detection_scores
+
+from conftest import print_table
+
+TOOLS = [
+    "sd",
+    "iqr",
+    "isolation_forest",
+    "mv_detector",
+    "fahes",
+    "nadeef",
+    "katara",
+    "holoclean",
+    "raha",
+    "union_broad",
+    "min_k2",
+]
+
+
+def _evaluate(bundle) -> list[dict]:
+    rows = []
+    for name in TOOLS:
+        context = DetectionContext(
+            labeler=SimulatedUser(bundle.mask),
+            labeling_budget=10,
+            seed=0,
+        )
+        detector = make_detector(name)
+        result = detector.detect(bundle.dirty, context)
+        scores = detection_scores(result.cells, bundle.mask)
+        rows.append(
+            {
+                "tool": name,
+                "cells": len(result.cells),
+                "runtime": result.runtime_seconds,
+                **scores,
+            }
+        )
+    return rows
+
+
+def _report(dataset: str, rows: list[dict]) -> None:
+    print_table(
+        f"Detection suite ({dataset})",
+        ["tool", "cells", "precision", "recall", "F1", "runtime [s]"],
+        [
+            [
+                row["tool"],
+                row["cells"],
+                f"{row['precision']:.3f}",
+                f"{row['recall']:.3f}",
+                f"{row['f1']:.3f}",
+                f"{row['runtime']:.2f}",
+            ]
+            for row in rows
+        ],
+    )
+
+
+def _best(rows: list[dict]) -> dict:
+    return max(rows, key=lambda row: row["f1"])
+
+
+def test_detection_suite_nasa(benchmark, nasa_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(nasa_bundle), rounds=1, iterations=1
+    )
+    _report("NASA", rows)
+    best = _best(rows)
+    assert best["f1"] > 0.6
+    # No single tool dominates every error family: the union beats each
+    # individual statistical tool on recall.
+    by_tool = {row["tool"]: row for row in rows}
+    assert by_tool["union_broad"]["recall"] >= by_tool["iqr"]["recall"]
+    assert by_tool["union_broad"]["recall"] >= by_tool["mv_detector"]["recall"]
+    benchmark.extra_info["best_tool"] = best["tool"]
+    benchmark.extra_info["best_f1"] = round(best["f1"], 3)
+
+
+def test_detection_suite_beers(benchmark, beers_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(beers_bundle), rounds=1, iterations=1
+    )
+    _report("Beers", rows)
+    best = _best(rows)
+    assert best["f1"] > 0.4
+    benchmark.extra_info["best_tool"] = best["tool"]
+    benchmark.extra_info["best_f1"] = round(best["f1"], 3)
+
+
+def test_detection_suite_hospital(benchmark, hospital_bundle):
+    rows = benchmark.pedantic(
+        lambda: _evaluate(hospital_bundle), rounds=1, iterations=1
+    )
+    _report("Hospital", rows)
+    by_tool = {row["tool"]: row for row in rows}
+    # Rule/knowledge-based tools must contribute on the FD-rich dataset.
+    assert by_tool["nadeef"]["f1"] > 0.2
+    assert by_tool["katara"]["precision"] > 0.5
+    benchmark.extra_info["nadeef_f1"] = round(by_tool["nadeef"]["f1"], 3)
+    benchmark.extra_info["katara_f1"] = round(by_tool["katara"]["f1"], 3)

@@ -1,0 +1,162 @@
+"""Figure 5 — impact of the number of search iterations (§4).
+
+For iteration counts {5, 10, 15, 20}, run the iterative cleaner and report
+the downstream score of the best tool combination found, next to the two
+baselines (model on dirty data, model on ground truth) and the search
+runtime. Paper shape: NASA decision-tree MSE falls toward the ground-truth
+baseline as iterations grow (10.7 vs GT ~10 at 20 iterations; dirty ~50),
+Beers macro-F1 rises toward ground truth (≈0.72 dirty → ≈0.78), and the
+search runtime grows roughly linearly with the iteration count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IterativeCleaner, SimulatedUser
+from repro.detection import DetectionContext
+from repro.ingestion import make_dirty
+
+from conftest import print_table
+
+ITERATIONS = (5, 10, 15, 20)
+SEEDS = (0, 1, 2)
+
+# The space deliberately contains weak arms for these datasets (katara and
+# nadeef find nothing on the all-numeric NASA table) — the paper's point is
+# that the search must discover which tools fit the data.
+DETECTORS = [
+    "sd",
+    "iqr",
+    "mv_detector",
+    "fahes",
+    "nadeef",
+    "katara",
+    "holoclean",
+    "union_statistical",
+    "union_broad",
+    "min_k2",
+    "raha",
+]
+REPAIRERS = ["standard_imputer", "ml_imputer", "holoclean_repair"]
+
+
+def _run_sweep(dataset: str, task: str, target: str) -> list[dict]:
+    bundle = make_dirty(dataset, seed=1)
+    rows = []
+    for n_iterations in ITERATIONS:
+        best_scores, runtimes, best_params = [], [], None
+        dirty_scores, clean_scores = [], []
+        for seed in SEEDS:
+            context = DetectionContext(
+                labeler=SimulatedUser(bundle.mask),
+                labeling_budget=10,
+                seed=seed,
+            )
+            cleaner = IterativeCleaner(
+                task=task,
+                target=target,
+                detector_choices=DETECTORS,
+                repairer_choices=REPAIRERS,
+                seed=seed,
+            )
+            result = cleaner.clean(
+                bundle.dirty,
+                n_iterations=n_iterations,
+                reference=bundle.clean,
+                context=context,
+            )
+            best_scores.append(result.best_score)
+            runtimes.append(result.search_runtime_seconds)
+            best_params = result.best_params
+            dirty_scores.append(result.baseline_dirty)
+            clean_scores.append(result.baseline_clean)
+        rows.append(
+            {
+                "iterations": n_iterations,
+                "best": float(np.mean(best_scores)),
+                "dirty": float(np.mean(dirty_scores)),
+                "clean": float(np.mean(clean_scores)),
+                "runtime": float(np.mean(runtimes)),
+                "best_params": best_params,
+            }
+        )
+    return rows
+
+
+def _report(name: str, metric: str, rows: list[dict]) -> None:
+    print_table(
+        f"Figure 5 ({name}): iterations vs {metric} / baselines / runtime",
+        ["iterations", f"repaired {metric}", f"dirty {metric}",
+         f"ground truth {metric}", "search runtime [s]", "best tools"],
+        [
+            [
+                row["iterations"],
+                f"{row['best']:.3f}",
+                f"{row['dirty']:.3f}",
+                f"{row['clean']:.3f}",
+                f"{row['runtime']:.1f}",
+                f"{row['best_params'].get('detector')}+"
+                f"{row['best_params'].get('repairer')}",
+            ]
+            for row in rows
+        ],
+    )
+
+
+def test_fig5a_nasa_iterative_mse(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _run_sweep("nasa", "regression", "Sound Pressure"),
+        rounds=1,
+        iterations=1,
+    )
+    _report("NASA", "MSE", rows)
+    final = rows[-1]
+    # Shape: the best repaired pipeline lands near the ground-truth
+    # baseline (repairs may even denoise slightly past it) and far from
+    # dirty; more iterations never hurt.
+    assert final["best"] < final["dirty"]
+    assert final["best"] <= final["clean"] * 1.35
+    gap_dirty = final["dirty"] - final["clean"]
+    gap_best = final["best"] - final["clean"]
+    assert gap_best < 0.35 * gap_dirty
+    best_by_iteration = [row["best"] for row in rows]
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(best_by_iteration, best_by_iteration[1:])
+    )
+    # Runtime grows with the iteration count (paper's trade-off message).
+    assert rows[-1]["runtime"] > rows[0]["runtime"]
+    for row in rows:
+        benchmark.extra_info[f"iters_{row['iterations']}"] = {
+            "mse": round(row["best"], 2),
+            "runtime_s": round(row["runtime"], 1),
+        }
+    benchmark.extra_info["baseline_dirty_mse"] = round(final["dirty"], 2)
+    benchmark.extra_info["baseline_clean_mse"] = round(final["clean"], 2)
+
+
+def test_fig5b_beers_iterative_f1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: _run_sweep("beers", "classification", "style"),
+        rounds=1,
+        iterations=1,
+    )
+    _report("Beers", "macro-F1", rows)
+    final = rows[-1]
+    # Repaired beats the dirty baseline and lands in the neighbourhood of
+    # ground truth (prototype-style repairs can denoise slightly past it).
+    assert final["dirty"] < final["best"] <= final["clean"] + 0.08
+    best_by_iteration = [row["best"] for row in rows]
+    assert all(
+        later >= earlier - 1e-9
+        for earlier, later in zip(best_by_iteration, best_by_iteration[1:])
+    )
+    assert rows[-1]["runtime"] > rows[0]["runtime"]
+    for row in rows:
+        benchmark.extra_info[f"iters_{row['iterations']}"] = {
+            "f1": round(row["best"], 3),
+            "runtime_s": round(row["runtime"], 1),
+        }
+    benchmark.extra_info["baseline_dirty_f1"] = round(final["dirty"], 3)
+    benchmark.extra_info["baseline_clean_f1"] = round(final["clean"], 3)

@@ -1,0 +1,68 @@
+"""Ablation — profile-report cost as the dataset grows.
+
+The Data Profile tab is generated automatically on ingestion, so its
+runtime bounds dashboard interactivity. This bench scales NASA row counts
+and also times the full report on each bundled dataset.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ingestion import beers, hospital, nasa
+from repro.profiling import profile
+
+from conftest import print_table
+
+ROW_COUNTS = (250, 500, 1000, 2000)
+
+
+def _scaling() -> list[dict]:
+    rows = []
+    for n_rows in ROW_COUNTS:
+        frame = nasa(n_rows)
+        start = time.perf_counter()
+        report = profile(frame)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "rows": n_rows,
+                "seconds": elapsed,
+                "alerts": len(report.alerts),
+            }
+        )
+    return rows
+
+
+def test_profile_scaling(benchmark):
+    rows = benchmark.pedantic(_scaling, rounds=1, iterations=1)
+    print_table(
+        "Profile report scaling (NASA rows)",
+        ["rows", "profile runtime [s]", "alerts"],
+        [
+            [row["rows"], f"{row['seconds']:.3f}", row["alerts"]]
+            for row in rows
+        ],
+    )
+    # Roughly linear growth: 8x rows must not cost more than ~40x time.
+    assert rows[-1]["seconds"] < max(rows[0]["seconds"], 1e-3) * 40 + 1.0
+    for row in rows:
+        benchmark.extra_info[f"rows_{row['rows']}"] = round(row["seconds"], 3)
+
+
+def test_profile_nasa_full(benchmark):
+    frame = nasa()
+    report = benchmark(lambda: profile(frame))
+    assert report.overview["rows"] == 1503
+
+
+def test_profile_beers_full(benchmark):
+    frame = beers()
+    report = benchmark.pedantic(lambda: profile(frame), rounds=1, iterations=1)
+    assert report.overview["rows"] == 2410
+
+
+def test_profile_hospital_full(benchmark):
+    frame = hospital()
+    report = benchmark.pedantic(lambda: profile(frame), rounds=1, iterations=1)
+    assert report.overview["categorical_columns"] >= 5

@@ -1,0 +1,80 @@
+"""Reproducibility features (§5): DataSheets, tracking, and versioning.
+
+Times the overhead the reproducibility layer adds to a pipeline run and
+verifies its contracts end-to-end: DataSheet replay equality, Delta version
+counts across detect/repair, and tracked runs in the "Detection"/"Repair"
+experiments.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import DataLens, DataSheet
+
+from conftest import print_table
+
+
+def _pipeline_with_reproducibility(tmp_dir, bundle) -> dict:
+    timings = {}
+    lens = DataLens(tmp_dir, seed=0)
+    session = lens.ingest_frame("nasa", bundle.dirty)
+
+    start = time.perf_counter()
+    session.run_detection(["iqr", "sd", "mv_detector", "fahes"])
+    timings["detection_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    repaired = session.run_repair("ml_imputer")
+    timings["repair_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sheet_path = session.save_datasheet()
+    timings["datasheet_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replayed = DataSheet.load(sheet_path).replay(bundle.dirty)
+    timings["replay_s"] = time.perf_counter() - start
+
+    timings["replay_equal"] = replayed == repaired
+    timings["delta_versions"] = len(session.delta.history())
+    timings["detection_runs"] = len(lens.tracking.search_runs("Detection"))
+    timings["repair_runs"] = len(lens.tracking.search_runs("Repair"))
+    return timings
+
+
+def test_reproducibility_overhead(benchmark, tmp_path, nasa_bundle):
+    result = benchmark.pedantic(
+        lambda: _pipeline_with_reproducibility(tmp_path, nasa_bundle),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Reproducibility pipeline (NASA)",
+        ["stage", "value"],
+        [[key, f"{value:.3f}" if isinstance(value, float) else value]
+         for key, value in result.items()],
+    )
+    assert result["replay_equal"] is True
+    assert result["delta_versions"] == 2  # upload + repair
+    assert result["detection_runs"] == 4
+    assert result["repair_runs"] == 1
+    # DataSheet generation must be negligible next to detection+repair.
+    assert result["datasheet_s"] < result["detection_s"] + result["repair_s"]
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in result.items()}
+    )
+
+
+def test_delta_write_read_cycle(benchmark, tmp_path, nasa_bundle):
+    """Microbenchmark: one versioned write + read of the NASA table."""
+    from repro.versioning import DeltaTable
+
+    table = DeltaTable(tmp_path / "delta")
+
+    def cycle():
+        version = table.write(nasa_bundle.dirty)
+        return table.read(version)
+
+    frame = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert frame == nasa_bundle.dirty

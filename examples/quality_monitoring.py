@@ -1,0 +1,62 @@
+"""Ongoing quality monitoring across dataset versions (§1 motivation).
+
+Simulates a dataset evolving through Delta versions — clean upload, a
+degraded batch append, then a repair — and runs the QualityMonitor to get
+the quality timeline, regression alerts, and drift findings.
+
+Run with:  python examples/quality_monitoring.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import DataLens
+from repro.core import QualityMonitor
+from repro.ingestion import ErrorInjector, nasa
+
+
+def main() -> None:
+    lens = DataLens(tempfile.mkdtemp(prefix="datalens-monitor-"), seed=0)
+    clean = nasa(800)
+    session = lens.ingest_frame("nasa_stream", clean)
+    print(f"v0: uploaded clean batch ({clean.num_rows} rows)")
+
+    # A degraded batch arrives: heavy missingness + shifted outliers.
+    injector = ErrorInjector(
+        missing_rate=0.12, outlier_rate=0.06, disguised_rate=0.03, seed=3
+    )
+    degraded, _ = injector.inject(clean)
+    session.delta.write(degraded, operation="append",
+                        metadata={"source": "nightly-batch"})
+    print("v1: appended degraded nightly batch")
+
+    # The team repairs it with the standard pipeline.
+    session.frame = degraded
+    session.run_detection(["union_broad"])
+    session.run_repair("ml_imputer")
+    print(f"v{session.version_after_repair}: repaired")
+
+    report = QualityMonitor().run(session.delta)
+    print("\nquality timeline:")
+    for entry in report.timeline:
+        print(f"  v{entry.version} ({entry.operation:7s}) "
+              f"completeness={entry.metrics['completeness']:.3f} "
+              f"validity={entry.metrics['validity']:.3f} "
+              f"overall={entry.metrics['overall']:.3f}")
+
+    print("\nregressions detected:")
+    for regression in report.regressions:
+        print(f"  {regression.metric}: v{regression.from_version} "
+              f"{regression.before:.3f} -> v{regression.to_version} "
+              f"{regression.after:.3f} (drop {regression.drop:.3f})")
+
+    print("\ndrift findings between consecutive versions:")
+    for (a, b), findings in report.drift.items():
+        for finding in findings[:4]:
+            print(f"  v{a}->v{b}: {finding.message} "
+                  f"(severity {finding.severity:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""REST integration (§3) — drive DataLens over HTTP like an external tool.
+
+Starts the JSON API on a local port, then exercises it with stdlib
+urllib exactly the way a BI/ML platform would: upload, profile, detect,
+repair, and fetch the DataSheet.
+
+Run with:  python examples/rest_api_server.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import urllib.request
+
+from repro import DataLens
+from repro.api import create_app, serve
+from repro.dataframe import to_csv_text
+from repro.ingestion import make_dirty
+
+
+def call(method: str, url: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    lens = DataLens(tempfile.mkdtemp(prefix="datalens-api-"), seed=0)
+    server = serve(create_app(lens), port=0)
+    port = server.server_address[1]
+    base = f"http://127.0.0.1:{port}"
+    print(f"DataLens REST API listening on {base}")
+
+    try:
+        print("health:", call("GET", f"{base}/health"))
+
+        # POST: forward a task — upload a dirty CSV.
+        bundle = make_dirty("nasa", seed=7)
+        uploaded = call(
+            "POST",
+            f"{base}/datasets",
+            {"name": "nasa", "csv_text": to_csv_text(bundle.dirty)},
+        )
+        print("uploaded:", uploaded)
+
+        # GET: retrieve results — the automated profile.
+        profile = call("GET", f"{base}/datasets/nasa/profile")
+        print("profile overview:", profile["overview"])
+
+        # POST: run detection tools server-side.
+        detection = call(
+            "POST",
+            f"{base}/datasets/nasa/detect",
+            {"tools": ["iqr", "sd", "mv_detector", "fahes"]},
+        )
+        print("detection:", detection)
+
+        # PUT: update request state — contribute a user label.
+        label = call(
+            "PUT",
+            f"{base}/datasets/nasa/labels",
+            {"row": 3, "column": "Angle", "is_dirty": True},
+        )
+        print("labels now:", label)
+
+        # POST: repair, then fetch the DataSheet and version history.
+        repair = call(
+            "POST", f"{base}/datasets/nasa/repair", {"tool": "ml_imputer"}
+        )
+        print("repair:", repair)
+        sheet = call("GET", f"{base}/datasets/nasa/datasheet")
+        print("datasheet tools:",
+              [tool["name"] for tool in sheet["detection"]["tools"]],
+              "->", [tool["name"] for tool in sheet["repair"]["tools"]])
+        versions = call("GET", f"{base}/datasets/nasa/versions")
+        print("delta versions:",
+              [commit["operation"] for commit in versions["versions"]])
+    finally:
+        server.shutdown()
+        print("server stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""DataLens reproduction — ML-oriented tabular data quality management.
+
+Reproduces "DataLens: ML-Oriented Interactive Tabular Data Quality
+Dashboard" (EDBT 2025) as a pure-Python library: profiling, FD discovery,
+ten error-detection tools, three repair tools, iterative cleaning via
+hyperparameter search, user-in-the-loop labeling/tagging/rules,
+DataSheets, experiment tracking, and dataset versioning.
+
+Quickstart::
+
+    from repro import DataLens
+
+    lens = DataLens("workspace")
+    session = lens.ingest_preloaded("nasa")
+    session.profile()
+    session.run_detection(["iqr", "sd", "mv_detector", "fahes"])
+    repaired = session.run_repair("ml_imputer")
+    session.save_datasheet()
+"""
+
+from .core import (
+    DataLens,
+    DataLensSession,
+    DataSheet,
+    IterativeCleaner,
+    IterativeCleaningResult,
+    LabelingSession,
+    SimulatedUser,
+    TagRegistry,
+)
+from .dataframe import DataFrame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataFrame",
+    "DataLens",
+    "DataLensSession",
+    "DataSheet",
+    "IterativeCleaner",
+    "IterativeCleaningResult",
+    "LabelingSession",
+    "SimulatedUser",
+    "TagRegistry",
+    "__version__",
+]

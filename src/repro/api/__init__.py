@@ -1,0 +1,15 @@
+"""REST integration layer (FastAPI substitute)."""
+
+from .app import create_app
+from .client import TestClient
+from .http import HTTPError, Request, Response, Router, serve
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "Router",
+    "TestClient",
+    "create_app",
+    "serve",
+]

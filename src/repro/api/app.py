@@ -1,0 +1,267 @@
+"""REST endpoints exposing the DataLens controller (§3's integration API).
+
+The paper integrates external data-preparation tools through REST: POST
+forwards tasks, GET retrieves results, PUT updates request state. This app
+exposes the same surface over the in-process controller so that BI/ML
+platforms (or the bundled dashboard) can drive the pipeline remotely.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import DataLens
+from ..dataframe import DataFrame, read_csv_text
+from .http import HTTPError, Request, Router
+
+
+def _require(body: Any, key: str) -> Any:
+    if not isinstance(body, dict) or key not in body:
+        raise HTTPError(422, f"missing required field {key!r}")
+    return body[key]
+
+
+def _frame_preview(frame: DataFrame, limit: int = 20) -> dict[str, Any]:
+    return {
+        "num_rows": frame.num_rows,
+        "num_columns": frame.num_columns,
+        "columns": frame.column_names,
+        "dtypes": frame.dtypes(),
+        "rows": frame.head(limit).to_records(),
+    }
+
+
+def create_app(lens: DataLens) -> Router:
+    """Build the REST router bound to one DataLens workspace."""
+    router = Router()
+
+    # ------------------------------------------------------------------
+    @router.get("/health")
+    def health(request: Request) -> dict:
+        return {"status": "ok", "datasets": lens.list_datasets()}
+
+    @router.get("/datasets")
+    def list_datasets(request: Request) -> dict:
+        return {"datasets": lens.list_datasets()}
+
+    @router.post("/datasets")
+    def ingest(request: Request) -> dict:
+        name = _require(request.body, "name")
+        if "records" in request.body:
+            frame = DataFrame.from_records(request.body["records"])
+        elif "csv_text" in request.body:
+            frame = read_csv_text(request.body["csv_text"])
+        elif "preloaded" in request.body:
+            session = lens.ingest_preloaded(request.body["preloaded"])
+            return {"dataset": session.name, "shape": list(session.frame.shape)}
+        else:
+            raise HTTPError(422, "provide 'records', 'csv_text', or 'preloaded'")
+        session = lens.ingest_frame(name, frame)
+        return {"dataset": session.name, "shape": list(session.frame.shape)}
+
+    @router.get("/datasets/{name}")
+    def preview(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        limit = int(request.query.get("limit", "20"))
+        return _frame_preview(session.frame, limit)
+
+    # ------------------------------------------------------------------
+    @router.get("/datasets/{name}/profile")
+    def get_profile(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        report = session.profile_report or session.profile()
+        return report.to_dict()
+
+    @router.get("/datasets/{name}/quality")
+    def get_quality(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        return session.quality_metrics()
+
+    # ------------------------------------------------------------------
+    @router.post("/datasets/{name}/rules/discover")
+    def discover_rules(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        body = request.body or {}
+        rules = session.discover_rules(
+            algorithm=body.get("algorithm", "approximate"),
+            max_lhs_size=int(body.get("max_lhs_size", 1)),
+            tolerance=float(body.get("tolerance", 0.1)),
+        )
+        return {"rules": [rule.to_dict() for rule in rules]}
+
+    @router.get("/datasets/{name}/rules")
+    def list_rules(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        return {
+            "rules": [managed.to_dict() for managed in session.rule_set.managed]
+        }
+
+    @router.put("/datasets/{name}/rules")
+    def put_rule(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        determinants = _require(request.body, "determinants")
+        dependent = _require(request.body, "dependent")
+        status = (request.body or {}).get("status")
+        if status in ("confirmed", "rejected"):
+            from ..fd import FunctionalDependency
+
+            rule = FunctionalDependency(tuple(determinants), dependent)
+            session.rule_set.set_status(rule, status)
+            return {"rule": rule.to_dict(), "status": status}
+        rule = session.add_custom_rule(
+            determinants, dependent, note=(request.body or {}).get("note", "")
+        )
+        return {"rule": rule.to_dict(), "status": "confirmed"}
+
+    @router.post("/datasets/{name}/rules/parse")
+    def parse_nl_rule(request: Request) -> dict:
+        """Natural-language rule definition (future work 1)."""
+        from ..core.nlrules import RuleParseError
+
+        session = lens.session(request.path_params["name"])
+        text = _require(request.body, "text")
+        try:
+            parsed = session.add_rule_from_text(text)
+        except RuleParseError as error:
+            raise HTTPError(422, str(error)) from error
+        return {"kind": parsed.kind, "rule": parsed.describe()}
+
+    @router.get("/datasets/{name}/explanations")
+    def get_explanations(request: Request) -> dict:
+        """Explainability (future work 2)."""
+        session = lens.session(request.path_params["name"])
+        limit = int(request.query.get("limit", "20"))
+        explanations = session.explain_detections(limit=limit)
+        return {
+            "explanations": [
+                {
+                    "row": exp.cell[0],
+                    "column": exp.cell[1],
+                    "value": exp.value,
+                    "evidence": [
+                        {"tool": ev.tool, "reason": ev.reason, "score": ev.score}
+                        for ev in exp.evidence
+                    ],
+                    "repair": exp.repair,
+                }
+                for exp in explanations
+            ]
+        }
+
+    # ------------------------------------------------------------------
+    @router.post("/datasets/{name}/tags")
+    def add_tag(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        session.tag_value(_require(request.body, "value"))
+        return {"tagged_values": [str(v) for v in session.tags.values()]}
+
+    @router.put("/datasets/{name}/labels")
+    def put_label(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        row = int(_require(request.body, "row"))
+        column = _require(request.body, "column")
+        is_dirty = bool(_require(request.body, "is_dirty"))
+        session.label_cell(row, column, is_dirty)
+        return {"labels": len(session.labels)}
+
+    # ------------------------------------------------------------------
+    @router.post("/datasets/{name}/detect")
+    def detect(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        tools = _require(request.body, "tools")
+        cells = session.run_detection(tools)
+        return {
+            "num_cells": len(cells),
+            "per_tool": {
+                tool: len(result.cells)
+                for tool, result in session.detection_results.items()
+            },
+        }
+
+    @router.get("/datasets/{name}/detections")
+    def get_detections(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        limit = int(request.query.get("limit", "200"))
+        cells = sorted(session.detected_cells)[:limit]
+        return {
+            "num_cells": len(session.detected_cells),
+            "cells": [{"row": row, "column": column} for row, column in cells],
+            "summary": session.detection_summary(),
+        }
+
+    # ------------------------------------------------------------------
+    @router.post("/datasets/{name}/repair")
+    def repair(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        body = request.body or {}
+        tool = body.get("tool", "ml_imputer")
+        params = body.get("params", {})
+        repaired = session.run_repair(tool, **params)
+        return {
+            "tool": tool,
+            "num_repairs": len(session.repair_result.repairs),
+            "version_after_repair": session.version_after_repair,
+            "shape": list(repaired.shape),
+        }
+
+    # ------------------------------------------------------------------
+    @router.get("/datasets/{name}/datasheet")
+    def get_datasheet(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        return session.generate_datasheet().to_dict()
+
+    @router.get("/datasets/{name}/dashboard")
+    def get_dashboard(request: Request) -> dict:
+        """Figure-2 main window as standalone HTML (returned as JSON field)."""
+        from ..dashboard import render_dashboard
+
+        session = lens.session(request.path_params["name"])
+        return {"html": render_dashboard(session)}
+
+    @router.get("/datasets/{name}/drift")
+    def get_drift(request: Request) -> dict:
+        """Drift report between two Delta versions (monitoring loop)."""
+        from ..profiling import drift_report
+
+        session = lens.session(request.path_params["name"])
+        latest = session.delta.latest_version() or 0
+        baseline = int(request.query.get("baseline", "0"))
+        current = int(request.query.get("current", str(latest)))
+        return drift_report(
+            session.delta.read(baseline), session.delta.read(current)
+        )
+
+    @router.get("/datasets/{name}/versions")
+    def get_versions(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        return {"versions": session.version_history()}
+
+    @router.post("/datasets/{name}/versions/restore")
+    def restore_version(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        version = int(_require(request.body, "version"))
+        new_version = session.delta.restore(version)
+        session.frame = session.delta.read(new_version)
+        return {"restored_from": version, "new_version": new_version}
+
+    # ------------------------------------------------------------------
+    @router.post("/datasets/{name}/iterative")
+    def iterative(request: Request) -> dict:
+        session = lens.session(request.path_params["name"])
+        body = request.body or {}
+        result = session.iterative_clean(
+            task=_require(body, "task"),
+            target=_require(body, "target"),
+            n_iterations=int(body.get("n_iterations", 10)),
+            model=body.get("model", "decision_tree"),
+            sampler=body.get("sampler", "tpe"),
+        )
+        return {
+            "best_score": result.best_score,
+            "best_params": result.best_params,
+            "baseline_dirty": result.baseline_dirty,
+            "n_iterations": result.n_iterations,
+            "search_runtime_seconds": result.search_runtime_seconds,
+        }
+
+    return router

@@ -1,0 +1,39 @@
+"""In-process test client for the REST router (no sockets needed)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .http import Request, Response, Router
+
+
+class TestClient:
+    """Drive a router the way an HTTP client would, synchronously."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        query: dict[str, str] | None = None,
+    ) -> Response:
+        return self.router.dispatch(
+            Request(method=method, path=path, query=dict(query or {}), body=body)
+        )
+
+    def get(self, path: str, query: dict[str, str] | None = None) -> Response:
+        return self.request("GET", path, query=query)
+
+    def post(self, path: str, body: Any = None) -> Response:
+        return self.request("POST", path, body=body)
+
+    def put(self, path: str, body: Any = None) -> Response:
+        return self.request("PUT", path, body=body)
+
+    def delete(self, path: str) -> Response:
+        return self.request("DELETE", path)

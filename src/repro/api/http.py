@@ -1,0 +1,178 @@
+"""Minimal JSON-over-HTTP framework (FastAPI substitute).
+
+A :class:`Router` maps ``METHOD /path/{param}`` templates to handler
+callables. Handlers receive a :class:`Request` and return a
+:class:`Response` (or a plain dict, auto-wrapped with status 200). The
+router can be served over a real socket via :func:`serve` or exercised
+in-process through :class:`repro.api.client.TestClient`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    path_params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, str] = field(default_factory=dict)
+    body: Any = None
+
+
+@dataclass
+class Response:
+    """JSON response payload."""
+
+    status: int = 200
+    body: Any = None
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(self.body, default=str).encode("utf-8")
+
+
+class HTTPError(Exception):
+    """Raise inside handlers to produce a non-200 JSON error response."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+Handler = Callable[[Request], Response | dict | list]
+
+_PARAM_PATTERN = re.compile(r"\{(\w+)\}")
+
+
+def _compile_template(template: str) -> re.Pattern:
+    pattern = _PARAM_PATTERN.sub(r"(?P<\1>[^/]+)", template.rstrip("/") or "/")
+    return re.compile(f"^{pattern}$")
+
+
+class Router:
+    """Method + path-template dispatch table."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), _compile_template(template), template, handler)
+        )
+
+    def get(self, template: str) -> Callable[[Handler], Handler]:
+        return self._decorator("GET", template)
+
+    def post(self, template: str) -> Callable[[Handler], Handler]:
+        return self._decorator("POST", template)
+
+    def put(self, template: str) -> Callable[[Handler], Handler]:
+        return self._decorator("PUT", template)
+
+    def delete(self, template: str) -> Callable[[Handler], Handler]:
+        return self._decorator("DELETE", template)
+
+    def _decorator(self, method: str, template: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self.add(method, template, handler)
+            return handler
+
+        return register
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        """Route a request; 404 unknown path, 405 wrong method."""
+        path = request.path.rstrip("/") or "/"
+        path_exists = False
+        for method, pattern, _, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_exists = True
+            if method != request.method.upper():
+                continue
+            request.path_params = match.groupdict()
+            try:
+                outcome = handler(request)
+            except HTTPError as error:
+                return Response(error.status, {"detail": error.detail})
+            except (KeyError, FileNotFoundError) as error:
+                return Response(404, {"detail": str(error)})
+            except (ValueError, RuntimeError) as error:
+                return Response(400, {"detail": str(error)})
+            if isinstance(outcome, Response):
+                return outcome
+            return Response(200, outcome)
+        if path_exists:
+            return Response(405, {"detail": "method not allowed"})
+        return Response(404, {"detail": f"no route for {request.path}"})
+
+    def routes(self) -> list[tuple[str, str]]:
+        return [(method, template) for method, _, template, _ in self._routes]
+
+
+def _make_handler_class(router: Router) -> type:
+    class _JSONRequestHandler(BaseHTTPRequestHandler):
+        def _handle(self, method: str) -> None:
+            parsed = urlparse(self.path)
+            query = {
+                key: values[0] for key, values in parse_qs(parsed.query).items()
+            }
+            body = None
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                raw = self.rfile.read(length)
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError:
+                    self._send(Response(400, {"detail": "invalid JSON body"}))
+                    return
+            request = Request(
+                method=method, path=parsed.path, query=query, body=body
+            )
+            self._send(router.dispatch(request))
+
+        def _send(self, response: Response) -> None:
+            payload = response.to_bytes()
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+            self._handle("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._handle("POST")
+
+        def do_PUT(self) -> None:  # noqa: N802
+            self._handle("PUT")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._handle("DELETE")
+
+        def log_message(self, *args: Any) -> None:  # silence default logging
+            return
+
+    return _JSONRequestHandler
+
+
+def serve(
+    router: Router, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Start a background HTTP server for the router; caller shuts it down."""
+    server = ThreadingHTTPServer((host, port), _make_handler_class(router))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

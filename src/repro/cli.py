@@ -1,0 +1,187 @@
+"""Command-line interface for the DataLens pipeline.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro profile data.csv
+    python -m repro detect data.csv --tools iqr sd mv_detector
+    python -m repro repair data.csv --tools union_broad --repairer ml_imputer \
+        --output repaired.csv
+    python -m repro rules data.csv --max-lhs 1 --algorithm approximate
+    python -m repro datasheet replay sheet.json data.csv --output fixed.csv
+    python -m repro datasets                # list preloaded datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import DataSheet, make_detector, make_repairer
+from .dataframe import read_csv, write_csv
+from .detection import DetectionContext, merge_results
+from .fd import approximate_fds, discover_fds, discover_fds_hyfd
+from .ingestion import PRELOADED, load_clean
+from .profiling import profile
+
+
+def _load_frame(path: str):
+    source = Path(path)
+    if not source.exists() and source.stem in PRELOADED:
+        return load_clean(source.stem)
+    return read_csv(source)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    frame = _load_frame(args.data)
+    report = profile(frame)
+    if args.json:
+        print(report.to_json())
+        return 0
+    overview = report.overview
+    print(f"rows={overview['rows']} columns={overview['columns']} "
+          f"missing={overview['missing_cells']} "
+          f"({overview['missing_fraction']:.1%}) "
+          f"duplicates={overview['duplicate_rows']}")
+    for column in report.columns:
+        stats = column["statistics"]
+        head = (
+            f"mean={stats.get('mean', 0):.4g} std={stats.get('std', 0):.4g}"
+            if column["is_numeric"]
+            else f"distinct={stats.get('distinct', 0)} "
+                 f"mode={stats.get('mode', '')!r}"
+        )
+        print(f"  {column['name']:24s} {column['dtype']:7s} "
+              f"missing={column['missing_fraction']:.1%} {head}")
+    for alert in report.alerts:
+        print(f"  ALERT: {alert.message}")
+    return 0
+
+
+def _run_detection(frame, tools: list[str]):
+    context = DetectionContext()
+    results = [make_detector(name).detect(frame, context) for name in tools]
+    return results, merge_results(results)
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    frame = _load_frame(args.data)
+    results, cells = _run_detection(frame, args.tools)
+    for result in results:
+        print(f"{result.tool:18s} {len(result.cells):6d} cells "
+              f"in {result.runtime_seconds:.3f}s")
+    print(f"{'consolidated':18s} {len(cells):6d} cells")
+    if args.output:
+        payload = [{"row": row, "column": column} for row, column in sorted(cells)]
+        Path(args.output).write_text(json.dumps(payload), encoding="utf-8")
+        print(f"cells written to {args.output}")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    frame = _load_frame(args.data)
+    _, cells = _run_detection(frame, args.tools)
+    repairer = make_repairer(args.repairer)
+    result = repairer.repair(frame, cells)
+    repaired = result.apply_to(frame)
+    print(f"detected {len(cells)} cells; repaired {len(result.repairs)} "
+          f"with {args.repairer}")
+    if args.output:
+        write_csv(repaired, args.output)
+        print(f"repaired table written to {args.output}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    frame = _load_frame(args.data)
+    if args.algorithm == "tane":
+        rules = discover_fds(frame, max_lhs_size=args.max_lhs)
+    elif args.algorithm == "hyfd":
+        rules = discover_fds_hyfd(frame, max_lhs_size=args.max_lhs)
+    else:
+        rules = approximate_fds(
+            frame, tolerance=args.tolerance, max_lhs_size=args.max_lhs
+        )
+    for rule in rules:
+        print(rule)
+    print(f"({len(rules)} rules, algorithm={args.algorithm})")
+    return 0
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    if args.action != "replay":
+        print("only 'replay' is supported", file=sys.stderr)
+        return 2
+    sheet = DataSheet.load(args.sheet)
+    frame = _load_frame(args.data)
+    repaired = sheet.replay(frame)
+    print(f"replayed {len(sheet.detection_tools)} detector(s) + "
+          f"{len(sheet.repair_tools)} repairer(s) from {args.sheet}")
+    if args.output:
+        write_csv(repaired, args.output)
+        print(f"replayed table written to {args.output}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    for name in sorted(PRELOADED):
+        frame = load_clean(name)
+        print(f"{name:10s} {frame.num_rows:5d} rows x "
+              f"{frame.num_columns} columns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DataLens data-quality pipeline CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    profile_cmd = commands.add_parser("profile", help="profile a CSV")
+    profile_cmd.add_argument("data")
+    profile_cmd.add_argument("--json", action="store_true")
+    profile_cmd.set_defaults(func=_cmd_profile)
+
+    detect_cmd = commands.add_parser("detect", help="run detection tools")
+    detect_cmd.add_argument("data")
+    detect_cmd.add_argument("--tools", nargs="+", default=["iqr", "mv_detector"])
+    detect_cmd.add_argument("--output")
+    detect_cmd.set_defaults(func=_cmd_detect)
+
+    repair_cmd = commands.add_parser("repair", help="detect then repair")
+    repair_cmd.add_argument("data")
+    repair_cmd.add_argument("--tools", nargs="+", default=["union_broad"])
+    repair_cmd.add_argument("--repairer", default="ml_imputer")
+    repair_cmd.add_argument("--output")
+    repair_cmd.set_defaults(func=_cmd_repair)
+
+    rules_cmd = commands.add_parser("rules", help="discover FD rules")
+    rules_cmd.add_argument("data")
+    rules_cmd.add_argument(
+        "--algorithm", choices=("tane", "hyfd", "approximate"), default="tane"
+    )
+    rules_cmd.add_argument("--max-lhs", type=int, default=2)
+    rules_cmd.add_argument("--tolerance", type=float, default=0.1)
+    rules_cmd.set_defaults(func=_cmd_rules)
+
+    sheet_cmd = commands.add_parser("datasheet", help="replay a DataSheet")
+    sheet_cmd.add_argument("action", choices=("replay",))
+    sheet_cmd.add_argument("sheet")
+    sheet_cmd.add_argument("data")
+    sheet_cmd.add_argument("--output")
+    sheet_cmd.set_defaults(func=_cmd_datasheet)
+
+    datasets_cmd = commands.add_parser("datasets", help="list preloaded data")
+    datasets_cmd.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""DataLens core: controller, iterative cleaning, user-in-the-loop, DataSheets."""
+
+from .controller import DataLens, DataLensSession
+from .datasheet import DataSheet
+from .explain import CellExplanation, Evidence, explain_cell, explain_session
+from .iterative import (
+    CLASSIFICATION,
+    DEFAULT_DETECTOR_CHOICES,
+    DEFAULT_REPAIRER_CHOICES,
+    DownstreamScorer,
+    IterativeCleaner,
+    IterativeCleaningResult,
+    REGRESSION,
+    TrialOutcome,
+)
+from .labeling import LabelingOutcome, LabelingSession, SimulatedUser
+from .monitoring import (
+    MonitoringReport,
+    QualityMonitor,
+    QualityRegression,
+    VersionQuality,
+)
+from .nlrules import ParsedRule, RuleParseError, parse_rule, parse_rules
+from .quality import (
+    accuracy_against,
+    completeness,
+    consistency,
+    quality_summary,
+    uniqueness,
+    validity,
+)
+from .registry import (
+    COMPOSITE_PRESETS,
+    detector_names,
+    make_detector,
+    make_repairer,
+    register_detector,
+    register_repairer,
+    repairer_names,
+)
+from .tagging import TagRegistry
+
+__all__ = [
+    "CLASSIFICATION",
+    "COMPOSITE_PRESETS",
+    "CellExplanation",
+    "Evidence",
+    "ParsedRule",
+    "RuleParseError",
+    "explain_cell",
+    "explain_session",
+    "parse_rule",
+    "parse_rules",
+    "DEFAULT_DETECTOR_CHOICES",
+    "DEFAULT_REPAIRER_CHOICES",
+    "DataLens",
+    "DataLensSession",
+    "DataSheet",
+    "DownstreamScorer",
+    "IterativeCleaner",
+    "IterativeCleaningResult",
+    "LabelingOutcome",
+    "LabelingSession",
+    "MonitoringReport",
+    "QualityMonitor",
+    "QualityRegression",
+    "REGRESSION",
+    "VersionQuality",
+    "SimulatedUser",
+    "TagRegistry",
+    "TrialOutcome",
+    "accuracy_against",
+    "completeness",
+    "consistency",
+    "detector_names",
+    "make_detector",
+    "make_repairer",
+    "quality_summary",
+    "register_detector",
+    "register_repairer",
+    "repairer_names",
+    "uniqueness",
+    "validity",
+]

@@ -1,0 +1,377 @@
+"""The DataLens dashboard controller (Figure 1).
+
+``DataLens`` owns the workspace (datasets on disk, Delta tables, tracking
+store) and hands out per-dataset :class:`DataLensSession` objects that walk
+through the paper's pipeline: ingest → profile → extract rules → detect
+(multi-tool, consolidated) → user-in-the-loop → repair → version → emit
+DataSheets, with every detection/repair run logged to the "Detection" /
+"Repair" tracking experiments (§5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..dataframe import Cell, DataFrame
+from ..detection import (
+    DetectionContext,
+    DetectionResult,
+    Detector,
+    merge_results,
+)
+from ..fd import (
+    FunctionalDependency,
+    RuleSet,
+    approximate_fds,
+    discover_fds,
+    discover_fds_hyfd,
+)
+from ..ingestion import DataLoader
+from ..profiling import ProfileReport, profile
+from ..repair import RepairResult
+from ..tracking import DETECTION_EXPERIMENT, REPAIR_EXPERIMENT, TrackingClient
+from ..versioning import DeltaTable
+from .datasheet import DataSheet
+from .iterative import IterativeCleaner, IterativeCleaningResult
+from .labeling import LabelingOutcome, LabelingSession
+from .quality import quality_summary
+from .registry import make_detector, make_repairer
+from .tagging import TagRegistry
+
+
+class DataLensSession:
+    """All state the dashboard holds for one ingested dataset."""
+
+    def __init__(self, controller: "DataLens", name: str) -> None:
+        self.controller = controller
+        self.name = name
+        self.workspace = controller.loader.workspace_for(name)
+        self.frame: DataFrame = controller.loader.load(name)
+        self.delta = DeltaTable(self.workspace.delta_path)
+        if self.delta.latest_version() is None:
+            self.delta.write(self.frame, operation="upload")
+        self.rule_set = RuleSet()
+        self.tags = TagRegistry()
+        self.labels: dict[Cell, bool] = {}
+        self.profile_report: ProfileReport | None = None
+        self.detection_results: dict[str, DetectionResult] = {}
+        self.detected_cells: set[Cell] = set()
+        self.repair_result: RepairResult | None = None
+        self.repaired_frame: DataFrame | None = None
+        self.version_before_detection: int | None = None
+        self.version_after_repair: int | None = None
+        self.iterative_result: IterativeCleaningResult | None = None
+
+    # ------------------------------------------------------------------
+    # Versioning (§5, Delta Lake)
+    # ------------------------------------------------------------------
+    def load_version(self, version: int) -> DataFrame:
+        """Time travel: make an earlier Delta version the working frame."""
+        self.frame = self.delta.read(version)
+        return self.frame
+
+    def version_history(self) -> list[dict[str, Any]]:
+        return [commit.to_dict() for commit in self.delta.history()]
+
+    # ------------------------------------------------------------------
+    # Profiling and rule extraction (§3)
+    # ------------------------------------------------------------------
+    def profile(self) -> ProfileReport:
+        self.profile_report = profile(self.frame)
+        return self.profile_report
+
+    def discover_rules(
+        self,
+        algorithm: str = "tane",
+        max_lhs_size: int = 2,
+        tolerance: float = 0.15,
+    ) -> list[FunctionalDependency]:
+        """Automated rule extraction; results await user validation."""
+        if algorithm == "tane":
+            rules = discover_fds(self.frame, max_lhs_size=max_lhs_size)
+        elif algorithm == "hyfd":
+            rules = discover_fds_hyfd(self.frame, max_lhs_size=max_lhs_size)
+        elif algorithm == "approximate":
+            rules = approximate_fds(
+                self.frame, tolerance=tolerance, max_lhs_size=max_lhs_size
+            )
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.rule_set.add_discovered(rules)
+        return rules
+
+    def confirm_rule(self, rule: FunctionalDependency) -> None:
+        self.rule_set.set_status(rule, "confirmed")
+
+    def reject_rule(self, rule: FunctionalDependency) -> None:
+        self.rule_set.set_status(rule, "rejected")
+
+    def add_custom_rule(
+        self, determinants: Iterable[str], dependent: str, note: str = ""
+    ) -> FunctionalDependency:
+        """User-defined rule: at least one determinant plus one dependent."""
+        determinants = tuple(determinants)
+        if not determinants:
+            raise ValueError("a custom rule needs at least one determinant")
+        for column in (*determinants, dependent):
+            if column not in self.frame:
+                raise KeyError(f"unknown column {column!r}")
+        rule = FunctionalDependency(determinants, dependent)
+        self.rule_set.add_custom(rule, note=note)
+        return rule
+
+    def add_rule_from_text(self, text: str):
+        """Natural-language rule definition (future work 1).
+
+        FD sentences become confirmed custom rules; constraint sentences
+        become value rules evaluated by NADEEF-style detection.
+        """
+        from .nlrules import parse_rule
+
+        parsed = parse_rule(text, self.frame)
+        if parsed.kind == "fd":
+            self.rule_set.add_custom(parsed.rule, note=f"parsed from: {text}")
+        else:
+            self.rule_set.value_rules.append(parsed.rule)
+        return parsed
+
+    def explain_detections(self, limit: int = 20):
+        """Explainability (future work 2): why cells were flagged/repaired."""
+        from .explain import explain_session
+
+        return explain_session(self, limit=limit)
+
+    # ------------------------------------------------------------------
+    # User-in-the-loop (§3)
+    # ------------------------------------------------------------------
+    def tag_value(self, value: Any) -> None:
+        self.tags.tag(value)
+
+    def label_cell(self, row: int, column: str, is_dirty: bool) -> None:
+        if column not in self.frame or not 0 <= row < self.frame.num_rows:
+            raise KeyError(f"cell ({row}, {column}) out of range")
+        self.labels[(row, column)] = bool(is_dirty)
+
+    def run_labeling_session(
+        self,
+        labeler: Callable[[int, DataFrame], dict[Cell, bool]],
+        budget: int = 20,
+        clusters_per_column: int | None = None,
+    ) -> LabelingOutcome:
+        """Interactive RAHA labeling; detections land in the result set."""
+        session = LabelingSession(
+            budget=budget,
+            clusters_per_column=clusters_per_column,
+            seed=self.controller.seed,
+            initial_labels=self.labels,
+        )
+        outcome = session.run(self.frame, labeler)
+        self.labels.update(outcome.labels)
+        self._record_detection("raha", outcome.detection)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Detection (§3)
+    # ------------------------------------------------------------------
+    def detection_context(self) -> DetectionContext:
+        return DetectionContext(
+            rules=self.rule_set.active_rules(),
+            value_rules=list(self.rule_set.value_rules),
+            labels=dict(self.labels),
+            tagged_values=set(self.tags.values()),
+            seed=self.controller.seed,
+        )
+
+    def run_detection(
+        self,
+        tools: Iterable[str | Detector],
+        include_tags: bool = True,
+    ) -> set[Cell]:
+        """Execute the selected tools sequentially and consolidate.
+
+        Detections are merged into a single deduplicated set; tagged values
+        contribute their own ``user_tags`` result. Mirrors the sequential
+        backend execution described in §3.
+        """
+        if self.version_before_detection is None:
+            self.version_before_detection = self.delta.latest_version()
+        context = self.detection_context()
+        for tool in tools:
+            detector = tool if isinstance(tool, Detector) else make_detector(tool)
+            result = detector.detect(self.frame, context)
+            self._record_detection(detector.name, result)
+        if include_tags and len(self.tags):
+            self._record_detection("user_tags", self.tags.search(self.frame))
+        self.detected_cells = merge_results(list(self.detection_results.values()))
+        return set(self.detected_cells)
+
+    def _record_detection(self, name: str, result: DetectionResult) -> None:
+        self.detection_results[name] = result
+        self.detected_cells |= result.cells
+        tracker = self.controller.tracking
+        with tracker.start_run(DETECTION_EXPERIMENT, f"{self.name}:{name}"):
+            tracker.log_params({"dataset": self.name, "tool": name, **result.config})
+            tracker.log_metric("num_cells", float(len(result.cells)))
+            tracker.log_metric("runtime_seconds", result.runtime_seconds)
+
+    def detection_summary(self) -> dict[str, dict[str, float]]:
+        """Per-tool, per-column detection rates (Figure 4's series)."""
+        summary: dict[str, dict[str, float]] = {}
+        for name, result in self.detection_results.items():
+            rates = {}
+            for column in self.frame.column_names:
+                hits = len(result.cells_in_column(column))
+                rates[column] = (
+                    hits / self.frame.num_rows if self.frame.num_rows else 0.0
+                )
+            summary[name] = rates
+        return summary
+
+    # ------------------------------------------------------------------
+    # Repair (§3)
+    # ------------------------------------------------------------------
+    def run_repair(self, tool: str = "ml_imputer", **params: Any) -> DataFrame:
+        """Repair the consolidated detections; store and version the output."""
+        if not self.detected_cells:
+            raise RuntimeError("run detection before repair")
+        repairer = make_repairer(tool, **params)
+        result = repairer.repair(self.frame, self.detected_cells)
+        repaired = result.apply_to(self.frame)
+        self.repair_result = result
+        self.repaired_frame = repaired
+        path = self.controller.loader.save_repaired(self.name, repaired)
+        self.version_after_repair = self.delta.write(
+            repaired, operation="repair", metadata={"tool": tool}
+        )
+        tracker = self.controller.tracking
+        with tracker.start_run(REPAIR_EXPERIMENT, f"{self.name}:{tool}"):
+            tracker.log_params({"dataset": self.name, "tool": tool, **result.config})
+            tracker.log_metric("num_repairs", float(len(result.repairs)))
+            tracker.log_metric("runtime_seconds", result.runtime_seconds)
+            tracker.log_text_artifact("repaired_path.txt", str(path))
+        return repaired
+
+    # ------------------------------------------------------------------
+    # Quality, iterative cleaning, DataSheets
+    # ------------------------------------------------------------------
+    def quality_metrics(self, frame: DataFrame | None = None) -> dict[str, float]:
+        target = frame if frame is not None else self.frame
+        return quality_summary(target, rules=self.rule_set.confirmed_rules())
+
+    def iterative_clean(
+        self,
+        task: str,
+        target: str,
+        n_iterations: int = 20,
+        model: str = "decision_tree",
+        sampler: str = "tpe",
+        reference: DataFrame | None = None,
+        **kwargs: Any,
+    ) -> IterativeCleaningResult:
+        """Delegate to the iterative cleaning module (§4)."""
+        cleaner = IterativeCleaner(
+            task=task,
+            target=target,
+            model=model,
+            sampler=sampler,
+            seed=self.controller.seed,
+            **kwargs,
+        )
+        result = cleaner.clean(
+            self.frame,
+            n_iterations=n_iterations,
+            reference=reference,
+            context=self.detection_context(),
+        )
+        self.iterative_result = result
+        return result
+
+    def generate_datasheet(self) -> DataSheet:
+        """Compile the §5 DataSheet for the session's current pipeline."""
+        sheet = DataSheet(
+            dataset_name=self.name,
+            dirty_path=str(self.workspace.dirty_path),
+            repaired_path=str(self.workspace.repaired_path()),
+            num_rows=self.frame.num_rows,
+            num_columns=self.frame.num_columns,
+            detection_tools=[
+                {"name": name, "config": result.config}
+                for name, result in self.detection_results.items()
+                if name != "user_tags"
+            ],
+            num_erroneous_cells=len(self.detected_cells),
+            repair_tools=(
+                [
+                    {
+                        "name": self.repair_result.tool,
+                        "config": self.repair_result.config,
+                    }
+                ]
+                if self.repair_result is not None
+                else []
+            ),
+            rules=[rule.to_dict() for rule in self.rule_set.confirmed_rules()],
+            tagged_values=[str(v) for v in self.tags.values()],
+            quality_before=self.quality_metrics(self.frame),
+            quality_after=(
+                self.quality_metrics(self.repaired_frame)
+                if self.repaired_frame is not None
+                else {}
+            ),
+            version_before_detection=self.version_before_detection,
+            version_after_repair=self.version_after_repair,
+            hyperparameters=(
+                dict(self.iterative_result.best_params)
+                if self.iterative_result is not None
+                else {}
+            ),
+        )
+        return sheet
+
+    def save_datasheet(self, file_name: str = "datasheet.json") -> Path:
+        sheet = self.generate_datasheet()
+        return sheet.save(self.workspace.root / file_name)
+
+
+class DataLens:
+    """Workspace-level entry point: ingestion plus shared services."""
+
+    def __init__(self, workspace_dir: str | Path, seed: int = 0) -> None:
+        self.workspace_dir = Path(workspace_dir)
+        self.loader = DataLoader(self.workspace_dir / "datasets")
+        self.tracking = TrackingClient(self.workspace_dir / "mlruns")
+        self.seed = seed
+        self._sessions: dict[str, DataLensSession] = {}
+
+    # ------------------------------------------------------------------
+    def ingest_frame(self, name: str, frame: DataFrame) -> DataLensSession:
+        self.loader.ingest_frame(name, frame)
+        return self._open(name)
+
+    def ingest_csv(self, path: str | Path) -> DataLensSession:
+        workspace = self.loader.ingest_csv(path)
+        return self._open(workspace.name)
+
+    def ingest_preloaded(self, name: str) -> DataLensSession:
+        self.loader.ingest_preloaded(name)
+        return self._open(name)
+
+    def ingest_sql(self, database: str | Path, table: str) -> DataLensSession:
+        workspace = self.loader.ingest_sql(database, table)
+        return self._open(workspace.name)
+
+    def _open(self, name: str) -> DataLensSession:
+        session = DataLensSession(self, name)
+        self._sessions[name] = session
+        return session
+
+    def session(self, name: str) -> DataLensSession:
+        if name not in self._sessions:
+            if name in self.loader.list_datasets():
+                return self._open(name)
+            raise KeyError(f"no session for dataset {name!r}")
+        return self._sessions[name]
+
+    def list_datasets(self) -> list[str]:
+        return self.loader.list_datasets()

@@ -1,0 +1,120 @@
+"""Data quality metrics — the dashboard's right-hand "Data Quality" panel."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import DataFrame
+from ..fd import FunctionalDependency
+
+
+def completeness(frame: DataFrame) -> float:
+    """Fraction of cells that are not missing."""
+    total = frame.num_rows * frame.num_columns
+    if total == 0:
+        return 1.0
+    return 1.0 - frame.missing_count() / total
+
+
+def uniqueness(frame: DataFrame) -> float:
+    """Fraction of rows that are not exact duplicates of earlier rows."""
+    if frame.num_rows == 0:
+        return 1.0
+    return 1.0 - len(frame.duplicate_row_indices()) / frame.num_rows
+
+
+def validity(frame: DataFrame) -> float:
+    """Fraction of cells passing per-column domain checks.
+
+    Numeric cells must fall inside the robust band
+    ``[q1 - 3*IQR, q3 + 3*IQR]``; categorical cells must not be one-off
+    levels in an otherwise low-cardinality column.
+    """
+    total = 0
+    valid = 0
+    for name in frame.column_names:
+        column = frame.column(name)
+        if column.is_numeric():
+            values = column.to_numpy()
+            finite = values[~np.isnan(values)]
+            total += len(finite)
+            if len(finite) < 4:
+                valid += len(finite)
+                continue
+            q1, q3 = np.quantile(finite, [0.25, 0.75])
+            iqr = float(q3 - q1)
+            if iqr == 0.0:
+                valid += len(finite)
+                continue
+            low = q1 - 3.0 * iqr
+            high = q3 + 3.0 * iqr
+            valid += int(np.sum((finite >= low) & (finite <= high)))
+        else:
+            values = column.non_missing()
+            total += len(values)
+            if not values:
+                continue
+            counts = Counter(values)
+            if len(counts) > max(20, 0.5 * len(values)):
+                valid += len(values)  # free-text column: no domain check
+                continue
+            valid += sum(count for count in counts.values() if count > 1)
+    return valid / total if total else 1.0
+
+
+def consistency(frame: DataFrame, rules: list[FunctionalDependency]) -> float:
+    """Fraction of cells not violating any active FD rule."""
+    total = frame.num_rows * frame.num_columns
+    if total == 0 or not rules:
+        return 1.0
+    violating: set = set()
+    for rule in rules:
+        violating |= rule.violations(frame)
+    return 1.0 - len(violating) / total
+
+
+def accuracy_against(frame: DataFrame, reference: DataFrame) -> float:
+    """Fraction of cells equal to a ground-truth reference frame."""
+    if frame.shape != reference.shape or frame.column_names != reference.column_names:
+        raise ValueError("frames must share shape and columns")
+    total = frame.num_rows * frame.num_columns
+    if total == 0:
+        return 1.0
+    equal = 0
+    for name in frame.column_names:
+        mine = frame.column(name).values()
+        theirs = reference.column(name).values()
+        for left, right in zip(mine, theirs):
+            if left is None and right is None:
+                equal += 1
+            elif (
+                isinstance(left, float)
+                and isinstance(right, (int, float))
+                and left is not None
+                and right is not None
+            ):
+                equal += int(abs(left - float(right)) <= 1e-9 * max(1.0, abs(left)))
+            elif left == right:
+                equal += 1
+    return equal / total
+
+
+def quality_summary(
+    frame: DataFrame,
+    rules: list[FunctionalDependency] | None = None,
+    reference: DataFrame | None = None,
+) -> dict[str, Any]:
+    """All quality dimensions plus their mean as an overall score."""
+    metrics = {
+        "completeness": completeness(frame),
+        "uniqueness": uniqueness(frame),
+        "validity": validity(frame),
+        "consistency": consistency(frame, rules or []),
+    }
+    if reference is not None:
+        metrics["accuracy"] = accuracy_against(frame, reference)
+    metrics["overall"] = float(np.mean(list(metrics.values())))
+    return metrics

@@ -1,0 +1,121 @@
+"""Tool registry: construct detectors/repairers from (name, params) specs.
+
+The registry is the backbone of three features: the dashboard's tool
+selection checklist, the iterative cleaner's search space (tools as
+hyperparameters, §4), and DataSheet replay (§5), which must rebuild the
+exact tools from their serialized configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..detection import (
+    Detector,
+    FAHESDetector,
+    HoloCleanDetector,
+    IQRDetector,
+    IsolationForestDetector,
+    KATARADetector,
+    MinKEnsemble,
+    MVDetector,
+    NADEEFDetector,
+    RAHADetector,
+    SDDetector,
+    UnionEnsemble,
+)
+from ..repair import HoloCleanRepairer, MLImputer, Repairer, StandardImputer
+
+_DETECTORS: dict[str, Callable[..., Detector]] = {
+    "sd": SDDetector,
+    "iqr": IQRDetector,
+    "isolation_forest": IsolationForestDetector,
+    "mv_detector": MVDetector,
+    "fahes": FAHESDetector,
+    "nadeef": NADEEFDetector,
+    "katara": KATARADetector,
+    "holoclean": HoloCleanDetector,
+    "raha": RAHADetector,
+}
+
+_REPAIRERS: dict[str, Callable[..., Repairer]] = {
+    "standard_imputer": StandardImputer,
+    "ml_imputer": MLImputer,
+    "holoclean_repair": HoloCleanRepairer,
+}
+
+#: Composite detector presets available to the dashboard and the search
+#: space. Members are (name, params) pairs resolved recursively.
+COMPOSITE_PRESETS: dict[str, dict[str, Any]] = {
+    "union_statistical": {
+        "kind": "union",
+        "members": [("sd", {}), ("iqr", {}), ("mv_detector", {})],
+    },
+    "union_broad": {
+        "kind": "union",
+        "members": [
+            ("iqr", {}),
+            ("sd", {}),
+            ("mv_detector", {}),
+            ("fahes", {}),
+        ],
+    },
+    "min_k2": {
+        "kind": "min_k",
+        "k": 2,
+        "members": [
+            ("sd", {"k": 2.5}),
+            ("iqr", {}),
+            ("mv_detector", {}),
+            ("fahes", {}),
+        ],
+    },
+}
+
+
+def detector_names(include_composites: bool = True) -> list[str]:
+    names = sorted(_DETECTORS)
+    if include_composites:
+        names += sorted(COMPOSITE_PRESETS)
+    return names
+
+
+def repairer_names() -> list[str]:
+    return sorted(_REPAIRERS)
+
+
+def make_detector(name: str, **params: Any) -> Detector:
+    """Instantiate a detector by registry name (composites included)."""
+    if name in _DETECTORS:
+        return _DETECTORS[name](**params)
+    if name in COMPOSITE_PRESETS:
+        preset = COMPOSITE_PRESETS[name]
+        members = [
+            make_detector(member_name, **member_params)
+            for member_name, member_params in preset["members"]
+        ]
+        if preset["kind"] == "union":
+            return UnionEnsemble(members)
+        return MinKEnsemble(members, k=int(preset["k"]))
+    raise KeyError(f"unknown detector {name!r}; have {detector_names()}")
+
+
+def make_repairer(name: str, **params: Any) -> Repairer:
+    """Instantiate a repair tool by registry name."""
+    if name not in _REPAIRERS:
+        raise KeyError(f"unknown repairer {name!r}; have {repairer_names()}")
+    return _REPAIRERS[name](**params)
+
+
+def register_detector(name: str, factory: Callable[..., Detector]) -> None:
+    """Extension hook: plug an external tool into the dashboard."""
+    if name in _DETECTORS or name in COMPOSITE_PRESETS:
+        raise ValueError(f"detector {name!r} already registered")
+    _DETECTORS[name] = factory
+
+
+def register_repairer(name: str, factory: Callable[..., Repairer]) -> None:
+    """Extension hook: plug an external repair tool into the dashboard."""
+    if name in _REPAIRERS:
+        raise ValueError(f"repairer {name!r} already registered")
+    _REPAIRERS[name] = factory

@@ -1,0 +1,60 @@
+"""Columnar DataFrame substrate (pandas substitute for this reproduction)."""
+
+from .column import Column
+from .frame import Cell, DataFrame
+from .io import (
+    from_json_records,
+    read_csv,
+    read_csv_text,
+    read_json,
+    to_csv_text,
+    to_json_records,
+    write_csv,
+    write_json,
+)
+from .ops import group_by, group_indices, inner_join, sort_by, value_counts_frame
+from .types import (
+    BOOL,
+    DTYPES,
+    FLOAT,
+    INT,
+    NULL_TOKENS,
+    STRING,
+    coerce,
+    common_dtype,
+    infer_dtype,
+    is_missing,
+    is_numeric_dtype,
+    parse_token,
+)
+
+__all__ = [
+    "BOOL",
+    "Cell",
+    "Column",
+    "DTYPES",
+    "DataFrame",
+    "FLOAT",
+    "INT",
+    "NULL_TOKENS",
+    "STRING",
+    "coerce",
+    "common_dtype",
+    "from_json_records",
+    "group_by",
+    "group_indices",
+    "infer_dtype",
+    "inner_join",
+    "is_missing",
+    "is_numeric_dtype",
+    "parse_token",
+    "read_csv",
+    "read_csv_text",
+    "read_json",
+    "sort_by",
+    "to_csv_text",
+    "to_json_records",
+    "value_counts_frame",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,154 @@
+"""A single named, typed column of a DataFrame."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from . import types as _types
+
+
+class Column:
+    """Ordered collection of values with one dtype and None for missing.
+
+    Columns are the unit of storage inside :class:`~repro.dataframe.DataFrame`.
+    They behave like immutable sequences for reading, with explicit mutating
+    methods (``set``) used by the frame.
+    """
+
+    __slots__ = ("name", "dtype", "_values")
+
+    def __init__(self, name: str, values: Iterable[Any], dtype: str | None = None):
+        materialized = list(values)
+        if dtype is None:
+            dtype = _types.infer_dtype(materialized)
+        if dtype not in _types.DTYPES:
+            raise ValueError(f"unknown dtype {dtype!r}")
+        self.name = name
+        self.dtype = dtype
+        self._values = [_types.coerce(value, dtype) for value in materialized]
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Column(self.name, self._values[index], self.dtype)
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dtype == other.dtype
+            and self._equal_values(other)
+        )
+
+    def _equal_values(self, other: "Column") -> bool:
+        if len(self) != len(other):
+            return False
+        for mine, theirs in zip(self._values, other._values):
+            if _types.is_missing(mine) and _types.is_missing(theirs):
+                continue
+            if mine != theirs:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column({self.name!r}, dtype={self.dtype}, [{preview}{suffix}])"
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def values(self) -> list[Any]:
+        """Return a copy of the raw values (None marks missing)."""
+        return list(self._values)
+
+    def set(self, index: int, value: Any) -> None:
+        """Overwrite one cell, widening the dtype if necessary."""
+        try:
+            self._values[index] = _types.coerce(value, self.dtype)
+        except (ValueError, TypeError):
+            widened = _types.common_dtype(self.dtype, _types.infer_dtype([value]))
+            self._values = [_types.coerce(v, widened) for v in self._values]
+            self.dtype = widened
+            self._values[index] = _types.coerce(value, widened)
+
+    def copy(self) -> "Column":
+        return Column(self.name, self._values, self.dtype)
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self._values, self.dtype)
+
+    def astype(self, dtype: str) -> "Column":
+        """Return a copy coerced to ``dtype`` (missing cells preserved)."""
+        return Column(self.name, self._values, dtype)
+
+    # ------------------------------------------------------------------
+    # Missing data
+    # ------------------------------------------------------------------
+    def is_missing(self) -> list[bool]:
+        return [_types.is_missing(v) for v in self._values]
+
+    def missing_count(self) -> int:
+        return sum(1 for v in self._values if _types.is_missing(v))
+
+    def non_missing(self) -> list[Any]:
+        return [v for v in self._values if not _types.is_missing(v)]
+
+    def fill_missing(self, value: Any) -> "Column":
+        filled = [value if _types.is_missing(v) else v for v in self._values]
+        return Column(self.name, filled)
+
+    # ------------------------------------------------------------------
+    # Analytics helpers
+    # ------------------------------------------------------------------
+    def is_numeric(self) -> bool:
+        return _types.is_numeric_dtype(self.dtype)
+
+    def to_numpy(self) -> np.ndarray:
+        """Return a numpy view; missing numeric cells become ``nan``.
+
+        String/bool columns are returned as object arrays with None kept.
+        """
+        if self.is_numeric():
+            return np.array(
+                [np.nan if _types.is_missing(v) else float(v) for v in self._values],
+                dtype=float,
+            )
+        return np.array(self._values, dtype=object)
+
+    def unique(self) -> list[Any]:
+        """Distinct non-missing values in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self._values:
+            if _types.is_missing(value):
+                continue
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def value_counts(self) -> Counter:
+        """Counter of non-missing values."""
+        return Counter(v for v in self._values if not _types.is_missing(v))
+
+    def map(self, func: Callable[[Any], Any]) -> "Column":
+        """Apply ``func`` to non-missing cells; missing cells stay missing."""
+        mapped = [
+            None if _types.is_missing(v) else func(v) for v in self._values
+        ]
+        return Column(self.name, mapped)
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        return Column(self.name, [self._values[i] for i in indices], self.dtype)

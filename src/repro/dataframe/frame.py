@@ -1,0 +1,297 @@
+"""Columnar DataFrame — the tabular backbone of the reproduction.
+
+The frame is deliberately small but carries the pandas-like operations the
+rest of the system needs: construction from rows/columns, cell addressing by
+``(row_index, column_name)``, boolean-mask selection, column manipulation,
+iteration, and numpy export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from . import types as _types
+from .column import Column
+
+Cell = tuple[int, str]
+
+
+class DataFrame:
+    """In-memory table with named, typed columns and None for missing."""
+
+    def __init__(self, columns: Iterable[Column] = ()):  # noqa: D107
+        self._columns: dict[str, Column] = {}
+        length: int | None = None
+        for column in columns:
+            if column.name in self._columns:
+                raise ValueError(f"duplicate column {column.name!r}")
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise ValueError(
+                    f"column {column.name!r} has {len(column)} rows, expected {length}"
+                )
+            self._columns[column.name] = column
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Iterable[Any]], dtypes: Mapping[str, str] | None = None
+    ) -> "DataFrame":
+        """Build a frame from ``{column_name: values}``."""
+        dtypes = dtypes or {}
+        return cls(
+            Column(name, values, dtypes.get(name)) for name, values in data.items()
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Any]],
+        column_names: Sequence[str],
+        dtypes: Mapping[str, str] | None = None,
+    ) -> "DataFrame":
+        """Build a frame from an iterable of row tuples."""
+        materialized = [list(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(column_names):
+                raise ValueError(
+                    f"row has {len(row)} fields, expected {len(column_names)}"
+                )
+        data = {
+            name: [row[i] for row in materialized]
+            for i, name in enumerate(column_names)
+        }
+        return cls.from_dict(data, dtypes)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "DataFrame":
+        """Build a frame from dict records; the union of keys becomes columns."""
+        materialized = list(records)
+        names: dict[str, None] = {}
+        for record in materialized:
+            for key in record:
+                names.setdefault(key, None)
+        data = {
+            name: [record.get(name) for record in materialized] for name in names
+        }
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Shape and metadata
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for an empty frame)."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) pair."""
+        return (self.num_rows, self.num_columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def dtypes(self) -> dict[str, str]:
+        """Mapping of column name to logical dtype."""
+        return {name: col.dtype for name, col in self._columns.items()}
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:
+        return f"DataFrame(shape={self.shape}, columns={self.column_names})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataFrame):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(self._columns[n] == other._columns[n] for n in self._columns)
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> Column:
+        """Return the named column (KeyError with the available names)."""
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r}; have {self.column_names}")
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> Column:
+        """Dict-style access: ``frame["col"]`` is ``frame.column("col")``."""
+        return self.column(name)
+
+    def with_column(self, column: Column) -> "DataFrame":
+        """Return a copy with ``column`` added or replaced."""
+        if self._columns and len(column) != self.num_rows:
+            raise ValueError(
+                f"column {column.name!r} has {len(column)} rows, expected {self.num_rows}"
+            )
+        columns = dict(self._columns)
+        columns[column.name] = column
+        return DataFrame(columns.values())
+
+    def drop_columns(self, names: Iterable[str]) -> "DataFrame":
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot drop unknown columns {sorted(missing)}")
+        return DataFrame(
+            col for name, col in self._columns.items() if name not in drop
+        )
+
+    def select_columns(self, names: Sequence[str]) -> "DataFrame":
+        return DataFrame(self.column(name) for name in names)
+
+    def rename_columns(self, mapping: Mapping[str, str]) -> "DataFrame":
+        return DataFrame(
+            col.rename(mapping.get(name, name))
+            for name, col in self._columns.items()
+        )
+
+    def numeric_column_names(self) -> list[str]:
+        return [n for n, c in self._columns.items() if c.is_numeric()]
+
+    def categorical_column_names(self) -> list[str]:
+        return [n for n, c in self._columns.items() if not c.is_numeric()]
+
+    # ------------------------------------------------------------------
+    # Cell and row access
+    # ------------------------------------------------------------------
+    def at(self, row: int, name: str) -> Any:
+        """Read one cell."""
+        return self.column(name)[row]
+
+    def set_at(self, row: int, name: str, value: Any) -> None:
+        """Write one cell in place (used by repair application)."""
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range for {self.num_rows} rows")
+        self.column(name).set(row, value)
+
+    def row(self, index: int) -> dict[str, Any]:
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def row_tuple(self, index: int) -> tuple[Any, ...]:
+        return tuple(col[index] for col in self._columns.values())
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return list(self.iter_rows())
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        return {name: col.values() for name, col in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def take(self, indices: Sequence[int]) -> "DataFrame":
+        """Return the rows at ``indices`` in the given order."""
+        for index in indices:
+            if not 0 <= index < self.num_rows:
+                raise IndexError(f"row {index} out of range")
+        return DataFrame(col.take(indices) for col in self._columns.values())
+
+    def filter(self, mask: Sequence[bool]) -> "DataFrame":
+        """Return rows where the boolean mask is True."""
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length must equal number of rows")
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self.take(indices)
+
+    def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "DataFrame":
+        mask = [bool(predicate(row)) for row in self.iter_rows()]
+        return self.filter(mask)
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self.take(list(range(min(n, self.num_rows))))
+
+    def sample_indices(self, n: int, seed: int = 0) -> list[int]:
+        """Deterministic random sample of row indices without replacement."""
+        rng = np.random.default_rng(seed)
+        n = min(n, self.num_rows)
+        return [int(i) for i in rng.choice(self.num_rows, size=n, replace=False)]
+
+    def copy(self) -> "DataFrame":
+        return DataFrame(col.copy() for col in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # Missing data
+    # ------------------------------------------------------------------
+    def missing_mask(self) -> dict[str, list[bool]]:
+        return {name: col.is_missing() for name, col in self._columns.items()}
+
+    def missing_cells(self) -> set[Cell]:
+        cells: set[Cell] = set()
+        for name, col in self._columns.items():
+            for row, missing in enumerate(col.is_missing()):
+                if missing:
+                    cells.add((row, name))
+        return cells
+
+    def missing_count(self) -> int:
+        return sum(col.missing_count() for col in self._columns.values())
+
+    def drop_missing_rows(self, subset: Sequence[str] | None = None) -> "DataFrame":
+        names = list(subset) if subset is not None else self.column_names
+        mask = []
+        for i in range(self.num_rows):
+            mask.append(
+                all(not _types.is_missing(self.at(i, n)) for n in names)
+            )
+        return self.filter(mask)
+
+    # ------------------------------------------------------------------
+    # Numpy export
+    # ------------------------------------------------------------------
+    def to_numpy(self, columns: Sequence[str] | None = None) -> np.ndarray:
+        """Stack numeric columns into an (n_rows, n_cols) float matrix."""
+        names = list(columns) if columns is not None else self.numeric_column_names()
+        if not names:
+            return np.empty((self.num_rows, 0), dtype=float)
+        return np.column_stack([self.column(n).to_numpy() for n in names])
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def duplicate_row_indices(self) -> list[int]:
+        """Indices of rows that repeat an earlier row exactly."""
+        seen: set[tuple[Any, ...]] = set()
+        duplicates = []
+        for i in range(self.num_rows):
+            key = self.row_tuple(i)
+            if key in seen:
+                duplicates.append(i)
+            else:
+                seen.add(key)
+        return duplicates
+
+    def concat_rows(self, other: "DataFrame") -> "DataFrame":
+        """Stack another frame with identical columns underneath this one."""
+        if self.column_names != other.column_names:
+            raise ValueError("frames must share identical column names")
+        data = {
+            name: self.column(name).values() + other.column(name).values()
+            for name in self.column_names
+        }
+        return DataFrame.from_dict(data)

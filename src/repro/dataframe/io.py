@@ -1,0 +1,94 @@
+"""CSV / JSON serialization for DataFrames.
+
+CSV is the interchange format the paper's dashboard uses for uploads and for
+persisting repaired datasets; JSON is used by DataSheets and the REST API.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from . import types as _types
+from .frame import DataFrame
+
+
+def read_csv(
+    path: str | Path,
+    delimiter: str = ",",
+    dtypes: Mapping[str, str] | None = None,
+) -> DataFrame:
+    """Read a CSV file with a header row into a DataFrame.
+
+    Values are parsed with dtype inference; tokens in
+    :data:`repro.dataframe.types.NULL_TOKENS` become missing cells.
+    """
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return read_csv_text(handle.read(), delimiter=delimiter, dtypes=dtypes)
+
+
+def read_csv_text(
+    text: str,
+    delimiter: str = ",",
+    dtypes: Mapping[str, str] | None = None,
+) -> DataFrame:
+    """Parse CSV content held in a string."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise ValueError("CSV input is empty (no header row)")
+    header = [name.strip() for name in rows[0]]
+    parsed = [[_types.parse_token(token) for token in row] for row in rows[1:]]
+    return DataFrame.from_rows(parsed, header, dtypes)
+
+
+def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",") -> None:
+    """Write a DataFrame to CSV; missing cells become empty fields."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        handle.write(to_csv_text(frame, delimiter=delimiter))
+
+
+def to_csv_text(frame: DataFrame, delimiter: str = ",") -> str:
+    """Render a DataFrame as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(frame.column_names)
+    for i in range(frame.num_rows):
+        writer.writerow([_render(v) for v in frame.row_tuple(i)])
+    return buffer.getvalue()
+
+
+def _render(value: Any) -> str:
+    if _types.is_missing(value):
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def to_json_records(frame: DataFrame) -> str:
+    """Serialize a DataFrame as a JSON list of row objects."""
+    return json.dumps(frame.to_records(), default=_json_default)
+
+
+def from_json_records(text: str) -> DataFrame:
+    """Deserialize a frame from :func:`to_json_records` output."""
+    records = json.loads(text)
+    return DataFrame.from_records(records)
+
+
+def write_json(frame: DataFrame, path: str | Path) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(to_json_records(frame), encoding="utf-8")
+
+
+def read_json(path: str | Path) -> DataFrame:
+    return from_json_records(Path(path).read_text(encoding="utf-8"))
+
+
+def _json_default(value: Any) -> Any:
+    raise TypeError(f"cannot serialize {type(value).__name__}")

@@ -1,0 +1,113 @@
+"""Relational operations over DataFrames: sort, group-by, join."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from .frame import DataFrame
+
+_MISSING_KEY = ("__missing__",)
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order over heterogenous cell values; missing sorts last."""
+    if value is None:
+        return (2, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value))
+    return (1, str(value))
+
+
+def sort_by(
+    frame: DataFrame, columns: Sequence[str], descending: bool = False
+) -> DataFrame:
+    """Return the frame sorted by the given columns (stable)."""
+    indices = sorted(
+        range(frame.num_rows),
+        key=lambda i: tuple(_sort_key(frame.at(i, c)) for c in columns),
+        reverse=descending,
+    )
+    return frame.take(indices)
+
+
+def group_indices(
+    frame: DataFrame, columns: Sequence[str]
+) -> dict[tuple[Hashable, ...], list[int]]:
+    """Map each distinct key tuple to the row indices holding it."""
+    groups: dict[tuple[Hashable, ...], list[int]] = {}
+    for i in range(frame.num_rows):
+        key = tuple(
+            _MISSING_KEY if frame.at(i, c) is None else frame.at(i, c)
+            for c in columns
+        )
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def group_by(
+    frame: DataFrame,
+    columns: Sequence[str],
+    aggregations: Mapping[str, tuple[str, Callable[[list[Any]], Any]]],
+) -> DataFrame:
+    """Group rows and aggregate.
+
+    ``aggregations`` maps output column name to ``(input_column, func)``,
+    where ``func`` receives the list of non-missing input values per group.
+    """
+    groups = group_indices(frame, columns)
+    out: dict[str, list[Any]] = {name: [] for name in columns}
+    out.update({name: [] for name in aggregations})
+    for key, indices in groups.items():
+        for col_name, part in zip(columns, key):
+            out[col_name].append(None if part == _MISSING_KEY else part)
+        for out_name, (in_name, func) in aggregations.items():
+            values = [
+                frame.at(i, in_name)
+                for i in indices
+                if frame.at(i, in_name) is not None
+            ]
+            out[out_name].append(func(values) if values else None)
+    return DataFrame.from_dict(out)
+
+
+def inner_join(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    suffix: str = "_right",
+) -> DataFrame:
+    """Hash inner join on equality of the ``on`` columns.
+
+    Overlapping non-key columns from the right side get ``suffix`` appended.
+    """
+    right_groups = group_indices(right, on)
+    left_names = left.column_names
+    right_extra = [c for c in right.column_names if c not in on]
+    renamed = {
+        c: (c + suffix if c in left_names else c) for c in right_extra
+    }
+    out: dict[str, list[Any]] = {c: [] for c in left_names}
+    out.update({renamed[c]: [] for c in right_extra})
+    for i in range(left.num_rows):
+        key = tuple(
+            _MISSING_KEY if left.at(i, c) is None else left.at(i, c) for c in on
+        )
+        if _MISSING_KEY in key:
+            continue
+        for j in right_groups.get(key, []):
+            for c in left_names:
+                out[c].append(left.at(i, c))
+            for c in right_extra:
+                out[renamed[c]].append(right.at(j, c))
+    return DataFrame.from_dict(out)
+
+
+def value_counts_frame(frame: DataFrame, column: str) -> DataFrame:
+    """Two-column frame of (value, count) sorted by descending count."""
+    counts = frame.column(column).value_counts()
+    ordered = counts.most_common()
+    return DataFrame.from_dict(
+        {column: [v for v, _ in ordered], "count": [c for _, c in ordered]}
+    )

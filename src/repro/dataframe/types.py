@@ -1,0 +1,152 @@
+"""Type system for the columnar DataFrame substrate.
+
+The frame stores one logical dtype per column.  Missing values are always
+represented as ``None`` at the Python level; numeric kernels convert to
+``numpy`` arrays with ``nan`` placeholders on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+INT = "int"
+FLOAT = "float"
+BOOL = "bool"
+STRING = "string"
+
+DTYPES = (INT, FLOAT, BOOL, STRING)
+
+_TRUE_STRINGS = {"true", "yes", "t", "1"}
+_FALSE_STRINGS = {"false", "no", "f", "0"}
+
+#: String tokens commonly used to encode missing values in CSV files.
+NULL_TOKENS = {"", "na", "n/a", "nan", "null", "none", "?", "-", "missing"}
+
+
+def is_missing(value: Any) -> bool:
+    """Return True if ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return False
+
+
+def is_null_token(text: str) -> bool:
+    """Return True if a raw CSV token should be parsed as missing."""
+    return text.strip().lower() in NULL_TOKENS
+
+
+def infer_dtype(values: Iterable[Any]) -> str:
+    """Infer the narrowest dtype that can hold every non-missing value.
+
+    The lattice is ``bool < int < float < string``; any value that cannot
+    be interpreted numerically widens the column to ``string``.
+    """
+    saw_bool = False
+    saw_int = False
+    saw_float = False
+    saw_any = False
+    for value in values:
+        if is_missing(value):
+            continue
+        saw_any = True
+        if isinstance(value, bool):
+            saw_bool = True
+        elif isinstance(value, int):
+            saw_int = True
+        elif isinstance(value, float):
+            saw_float = True
+        else:
+            return STRING
+    if not saw_any:
+        return STRING
+    if saw_float:
+        return FLOAT
+    if saw_int:
+        return INT
+    if saw_bool:
+        return BOOL
+    return STRING
+
+
+def parse_token(text: str) -> Any:
+    """Parse one raw CSV token into ``None``/bool/int/float/str."""
+    stripped = text.strip()
+    if is_null_token(stripped):
+        return None
+    lowered = stripped.lower()
+    if lowered in _TRUE_STRINGS and lowered in {"true", "t", "yes"}:
+        return True
+    if lowered in _FALSE_STRINGS and lowered in {"false", "f", "no"}:
+        return False
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        value = float(stripped)
+    except ValueError:
+        return stripped
+    return value
+
+
+def coerce(value: Any, dtype: str) -> Any:
+    """Coerce one value to ``dtype``; missing values pass through as None.
+
+    Raises ``ValueError`` when the value cannot be represented.
+    """
+    if is_missing(value):
+        return None
+    if dtype == STRING:
+        return value if isinstance(value, str) else _format_value(value)
+    if dtype == FLOAT:
+        return float(value)
+    if dtype == INT:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise ValueError(f"cannot coerce {value!r} to int")
+            return int(value)
+        if isinstance(value, int):
+            return value
+        return int(str(value).strip())
+    if dtype == BOOL:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        lowered = str(value).strip().lower()
+        if lowered in _TRUE_STRINGS:
+            return True
+        if lowered in _FALSE_STRINGS:
+            return False
+        raise ValueError(f"cannot coerce {value!r} to bool")
+    raise ValueError(f"unknown dtype {dtype!r}")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def is_numeric_dtype(dtype: str) -> bool:
+    """Return True for dtypes that support arithmetic."""
+    return dtype in (INT, FLOAT)
+
+
+def common_dtype(left: str, right: str) -> str:
+    """Return the join of two dtypes on the widening lattice."""
+    if left == right:
+        return left
+    pair = {left, right}
+    if pair <= {INT, FLOAT, BOOL}:
+        if FLOAT in pair:
+            return FLOAT
+        return INT
+    return STRING

@@ -1,0 +1,45 @@
+"""Automated error detection tools (§3 of the paper)."""
+
+from .base import (
+    DetectionContext,
+    DetectionResult,
+    Detector,
+    merge_results,
+    run_tools,
+    summarize_by_column,
+)
+from .ensemble import IntersectionEnsemble, MinKEnsemble, UnionEnsemble
+from .fahes import FAHESDetector, pattern_signature
+from .holoclean import CooccurrenceModel, HoloCleanDetector
+from .isolation import IsolationForestDetector
+from .katara import KATARADetector, KnowledgeBase, default_knowledge_base
+from .mvdetector import MVDetector
+from .nadeef import NADEEFDetector
+from .outliers import IQRDetector, SDDetector
+from .raha import RAHADetector, featurize_column
+
+__all__ = [
+    "CooccurrenceModel",
+    "DetectionContext",
+    "DetectionResult",
+    "Detector",
+    "FAHESDetector",
+    "HoloCleanDetector",
+    "IQRDetector",
+    "IntersectionEnsemble",
+    "IsolationForestDetector",
+    "KATARADetector",
+    "KnowledgeBase",
+    "MVDetector",
+    "MinKEnsemble",
+    "NADEEFDetector",
+    "RAHADetector",
+    "SDDetector",
+    "UnionEnsemble",
+    "default_knowledge_base",
+    "featurize_column",
+    "merge_results",
+    "pattern_signature",
+    "run_tools",
+    "summarize_by_column",
+]

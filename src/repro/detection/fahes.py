@@ -1,0 +1,147 @@
+"""FAHES-style disguised-missing-value detection.
+
+Disguised missing values (DMVs) are legal-looking placeholders — ``-1``,
+``0``, ``99999``, ``"N/A"`` — that encode "unknown" without being null.
+Following the FAHES system, three evidence channels are combined:
+
+1. *Syntactic outliers*: string values whose character-class pattern is
+   rare within the column yet repeats across rows (e.g. ``99999`` inside a
+   name column).
+2. *Null-like strings*: tokens from a dictionary of missing-data spellings.
+3. *Numeric DMV candidates*: repeated values sitting at the domain boundary
+   and detached from the bulk of the distribution (the "RAND" check), plus
+   well-known sentinel constants when over-represented.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import Cell, Column, DataFrame
+from .base import DetectionContext, Detector
+
+NULL_LIKE_STRINGS = {
+    "n/a", "na", "none", "null", "missing", "unknown", "undefined", "?",
+    "-", "--", "998", "999", "9999", "99999", "xx", "xxx",
+}
+
+SENTINEL_NUMBERS = (-99.0, -9.0, -1.0, 0.0, 999.0, 9999.0, 99999.0)
+
+
+def pattern_signature(text: str) -> str:
+    """Collapse characters into classes: letters->a, digits->9, other kept."""
+    out = []
+    for char in text:
+        if char.isalpha():
+            out.append("a")
+        elif char.isdigit():
+            out.append("9")
+        else:
+            out.append(char)
+    # Run-length collapse so 'abc' and 'abcd' share the signature 'a+'.
+    collapsed = []
+    for char in out:
+        if not collapsed or collapsed[-1] != char:
+            collapsed.append(char)
+    return "".join(collapsed)
+
+
+class FAHESDetector(Detector):
+    """Detect disguised missing values in numeric and string columns."""
+
+    name = "fahes"
+
+    def __init__(
+        self,
+        min_repeats: int = 3,
+        rare_pattern_fraction: float = 0.05,
+        boundary_gap_factor: float = 1.5,
+    ) -> None:
+        super().__init__(
+            min_repeats=min_repeats,
+            rare_pattern_fraction=rare_pattern_fraction,
+            boundary_gap_factor=boundary_gap_factor,
+        )
+        self.min_repeats = min_repeats
+        self.rare_pattern_fraction = rare_pattern_fraction
+        self.boundary_gap_factor = boundary_gap_factor
+
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        cells: set[Cell] = set()
+        dmvs: dict[str, list[Any]] = {}
+        for name in frame.column_names:
+            column = frame.column(name)
+            if column.is_numeric():
+                suspicious = self._numeric_dmvs(column)
+            else:
+                suspicious = self._string_dmvs(column)
+            if not suspicious:
+                continue
+            dmvs[name] = sorted(suspicious, key=str)
+            for row, value in enumerate(column):
+                if value in suspicious:
+                    cells.add((row, name))
+        scores = {cell: 1.0 for cell in cells}
+        return cells, scores, {"dmvs_per_column": dmvs}
+
+    # ------------------------------------------------------------------
+    def _numeric_dmvs(self, column: Column) -> set[Any]:
+        values = [float(v) for v in column.non_missing()]
+        if len(values) < 8:
+            return set()
+        counts = Counter(values)
+        array = np.array(values)
+        suspicious: set[Any] = set()
+        for value, count in counts.items():
+            if count < self.min_repeats:
+                continue
+            others = array[array != value]
+            if len(others) < 4:
+                continue
+            q1, q3 = np.quantile(others, [0.25, 0.75])
+            iqr = float(q3 - q1)
+            spread = iqr if iqr > 0 else float(np.std(others)) or 1.0
+            at_boundary = value <= float(others.min()) or value >= float(others.max())
+            detached = (
+                value < q1 - self.boundary_gap_factor * spread
+                or value > q3 + self.boundary_gap_factor * spread
+            )
+            is_sentinel = any(np.isclose(value, s) for s in SENTINEL_NUMBERS)
+            if detached and (at_boundary or is_sentinel):
+                suspicious.add(self._native(column, value))
+            elif is_sentinel and detached:
+                suspicious.add(self._native(column, value))
+        return suspicious
+
+    @staticmethod
+    def _native(column: Column, value: float) -> Any:
+        if column.dtype == "int" and float(value).is_integer():
+            return int(value)
+        return value
+
+    # ------------------------------------------------------------------
+    def _string_dmvs(self, column: Column) -> set[Any]:
+        values = [str(v) for v in column.non_missing()]
+        if not values:
+            return set()
+        counts = Counter(values)
+        suspicious: set[Any] = set()
+        # Channel 2: dictionary of null spellings.
+        for value in counts:
+            if value.strip().lower() in NULL_LIKE_STRINGS:
+                suspicious.add(value)
+        # Channel 1: repeated syntactic outliers.
+        patterns = Counter(pattern_signature(v) for v in values)
+        total = len(values)
+        for value, count in counts.items():
+            if value in suspicious or count < self.min_repeats:
+                continue
+            share = patterns[pattern_signature(value)] / total
+            if share <= self.rare_pattern_fraction:
+                suspicious.add(value)
+        return suspicious

@@ -1,0 +1,189 @@
+"""HoloClean-style probabilistic error detection.
+
+A laptop-scale rendition of HoloClean's pipeline:
+
+1. *Signal compilation* marks noisy candidate cells (rule violations,
+   mild statistical outliers, nulls).
+2. *Domain generation* collects candidate values for each noisy cell from
+   co-occurrence with the row's other attribute values.
+3. *Inference* scores every candidate with a smoothed naive-Bayes model
+   over attribute co-occurrence statistics; a cell whose observed value is
+   much less probable than the best candidate is declared erroneous.
+
+Numeric columns are discretized into quantile bins for the co-occurrence
+statistics, mirroring HoloClean's treatment of continuous attributes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..dataframe import Cell, DataFrame
+from .base import DetectionContext, Detector
+from .outliers import IQRDetector
+
+_MISSING = "__missing__"
+
+
+class CooccurrenceModel:
+    """Smoothed P(value | other attribute's value) statistics."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        # counts[(target_col, other_col)][other_value][target_value] -> int
+        self._counts: dict[
+            tuple[str, str], dict[Hashable, Counter]
+        ] = defaultdict(lambda: defaultdict(Counter))
+        self._domains: dict[str, set[Hashable]] = defaultdict(set)
+
+    def fit(self, tokens: dict[str, list[Hashable]]) -> "CooccurrenceModel":
+        columns = list(tokens)
+        n_rows = len(tokens[columns[0]]) if columns else 0
+        for target in columns:
+            for value in tokens[target]:
+                if value != _MISSING:
+                    self._domains[target].add(value)
+        for target in columns:
+            for other in columns:
+                if target == other:
+                    continue
+                pair = self._counts[(target, other)]
+                for row in range(n_rows):
+                    target_value = tokens[target][row]
+                    other_value = tokens[other][row]
+                    if target_value == _MISSING or other_value == _MISSING:
+                        continue
+                    pair[other_value][target_value] += 1
+        return self
+
+    def domain(self, column: str) -> set[Hashable]:
+        return self._domains[column]
+
+    def log_score(
+        self,
+        column: str,
+        candidate: Hashable,
+        row_tokens: dict[str, Hashable],
+    ) -> float:
+        """Sum of smoothed log P(candidate | other=value) over attributes."""
+        total = 0.0
+        domain_size = max(1, len(self._domains[column]))
+        for other, other_value in row_tokens.items():
+            if other == column or other_value == _MISSING:
+                continue
+            counter = self._counts[(column, other)].get(other_value)
+            count = counter[candidate] if counter else 0
+            seen = sum(counter.values()) if counter else 0
+            total += float(
+                np.log((count + self.alpha) / (seen + self.alpha * domain_size))
+            )
+        return total
+
+
+class HoloCleanDetector(Detector):
+    """Probabilistic detector over compiled noisy-cell candidates."""
+
+    name = "holoclean"
+
+    def __init__(
+        self,
+        n_bins: int = 12,
+        alpha: float = 1.0,
+        posterior_margin: float = 2.0,
+        max_domain: int = 24,
+    ) -> None:
+        super().__init__(
+            n_bins=n_bins,
+            alpha=alpha,
+            posterior_margin=posterior_margin,
+            max_domain=max_domain,
+        )
+        self.n_bins = n_bins
+        self.alpha = alpha
+        self.posterior_margin = posterior_margin
+        self.max_domain = max_domain
+
+    # ------------------------------------------------------------------
+    def tokenize(self, frame: DataFrame) -> dict[str, list[Hashable]]:
+        """Discretize the frame: quantile bins for numerics, raw otherwise."""
+        tokens: dict[str, list[Hashable]] = {}
+        for name in frame.column_names:
+            column = frame.column(name)
+            if column.is_numeric():
+                values = column.to_numpy()
+                finite = values[~np.isnan(values)]
+                if len(finite) == 0:
+                    tokens[name] = [_MISSING] * frame.num_rows
+                    continue
+                quantiles = np.unique(
+                    np.quantile(finite, np.linspace(0, 1, self.n_bins + 1))
+                )
+                edges = quantiles[1:-1]
+                binned: list[Hashable] = []
+                for value in values:
+                    if np.isnan(value):
+                        binned.append(_MISSING)
+                    else:
+                        binned.append(f"bin{int(np.searchsorted(edges, value))}")
+                tokens[name] = binned
+            else:
+                tokens[name] = [
+                    _MISSING if v is None else v for v in column.values()
+                ]
+        return tokens
+
+    def compile_signals(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> set[Cell]:
+        """Candidate noisy cells from rules, outliers, and nulls."""
+        noisy: set[Cell] = set()
+        for rule in context.rules:
+            noisy |= rule.violations(frame)
+        outliers = IQRDetector(factor=1.5).detect(frame, context)
+        noisy |= outliers.cells
+        noisy |= frame.missing_cells()
+        return noisy
+
+    # ------------------------------------------------------------------
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        tokens = self.tokenize(frame)
+        model = CooccurrenceModel(alpha=self.alpha).fit(tokens)
+        noisy = self.compile_signals(frame, context)
+        cells: set[Cell] = set()
+        scores: dict[Cell, float] = {}
+        for row, column in noisy:
+            observed = tokens[column][row]
+            row_tokens = {name: tokens[name][row] for name in frame.column_names}
+            if observed == _MISSING:
+                cells.add((row, column))
+                scores[(row, column)] = 1.0
+                continue
+            domain = model.domain(column)
+            if len(domain) < 2:
+                continue
+            candidates = self._prune_domain(domain, observed)
+            observed_score = model.log_score(column, observed, row_tokens)
+            best_score = max(
+                model.log_score(column, candidate, row_tokens)
+                for candidate in candidates
+            )
+            if best_score - observed_score >= np.log(self.posterior_margin):
+                cells.add((row, column))
+                scores[(row, column)] = float(best_score - observed_score)
+        metadata = {"noisy_candidates": len(noisy)}
+        return cells, scores, metadata
+
+    def _prune_domain(
+        self, domain: set[Hashable], observed: Hashable
+    ) -> list[Hashable]:
+        candidates = sorted(domain, key=str)
+        if len(candidates) > self.max_domain:
+            candidates = candidates[: self.max_domain]
+        if observed not in candidates:
+            candidates.append(observed)
+        return candidates

@@ -1,0 +1,42 @@
+"""MV Detector — explicit missing-value detection."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..dataframe import Cell, DataFrame
+from ..dataframe.types import NULL_TOKENS
+from .base import DetectionContext, Detector
+
+
+class MVDetector(Detector):
+    """Flag truly-missing cells and string cells spelling a null token.
+
+    CSV ingestion already parses tokens like ``"NA"`` into missing cells,
+    but frames built in memory (or loaded from SQL) can still carry textual
+    nulls, so both representations are covered.
+    """
+
+    name = "mv_detector"
+
+    def __init__(self, extra_null_tokens: set[str] | None = None) -> None:
+        super().__init__(
+            extra_null_tokens=sorted(extra_null_tokens) if extra_null_tokens else []
+        )
+        self.null_tokens = set(NULL_TOKENS)
+        if extra_null_tokens:
+            self.null_tokens |= {token.lower() for token in extra_null_tokens}
+
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        cells: set[Cell] = set()
+        for name in frame.column_names:
+            column = frame.column(name)
+            for row, value in enumerate(column):
+                if value is None:
+                    cells.add((row, name))
+                elif isinstance(value, str) and value.strip().lower() in self.null_tokens:
+                    cells.add((row, name))
+        scores = {cell: 1.0 for cell in cells}
+        return cells, scores, {}

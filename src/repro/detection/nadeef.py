@@ -1,0 +1,80 @@
+"""NADEEF-style rule-based error detection.
+
+NADEEF evaluates declarative quality rules. Here the rules are the FDs and
+value rules carried in the :class:`DetectionContext` — typically the output
+of automated rule extraction after user validation (§3). When no rules are
+supplied, the detector falls back to discovering FDs itself so it remains
+usable inside the fully-automated iterative cleaner.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..dataframe import Cell, DataFrame
+from ..fd import approximate_fds
+from .base import DetectionContext, Detector
+
+
+class NADEEFDetector(Detector):
+    """Union of violations across the active rule set."""
+
+    name = "nadeef"
+
+    def __init__(
+        self,
+        auto_discover: bool = True,
+        max_lhs_size: int = 1,
+        tolerance: float = 0.15,
+        min_confidence_rows: int = 20,
+    ) -> None:
+        super().__init__(
+            auto_discover=auto_discover,
+            max_lhs_size=max_lhs_size,
+            tolerance=tolerance,
+            min_confidence_rows=min_confidence_rows,
+        )
+        self.auto_discover = auto_discover
+        self.max_lhs_size = max_lhs_size
+        self.tolerance = tolerance
+        self.min_confidence_rows = min_confidence_rows
+
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        rules = list(context.rules)
+        discovered = 0
+        if not rules and self.auto_discover and frame.num_rows >= self.min_confidence_rows:
+            # Discover approximate FDs on a categorical projection: exact
+            # FDs never survive dirty data, and FDs over floats are noise.
+            candidates = [
+                name
+                for name in frame.column_names
+                if not frame.column(name).is_numeric()
+                or frame.column(name).dtype == "int"
+            ]
+            if len(candidates) >= 2:
+                rules = approximate_fds(
+                    frame,
+                    tolerance=self.tolerance,
+                    max_lhs_size=self.max_lhs_size,
+                    columns=candidates,
+                )
+                discovered = len(rules)
+        cells: set[Cell] = set()
+        per_rule: dict[str, int] = {}
+        for rule in rules:
+            violations = rule.violations(frame)
+            per_rule[str(rule)] = len(violations)
+            cells |= violations
+        for value_rule in context.value_rules:
+            violations = value_rule.violations(frame)
+            per_rule[f"value:{value_rule.name}"] = len(violations)
+            cells |= violations
+        scores = {cell: 1.0 for cell in cells}
+        metadata = {
+            "rules_evaluated": len(rules) + len(context.value_rules),
+            "rules_discovered": discovered,
+            "violations_per_rule": per_rule,
+        }
+        return cells, scores, metadata

@@ -1,0 +1,89 @@
+"""Statistical outlier detectors: standard deviation (SD) and IQR."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import Cell, DataFrame
+from .base import DetectionContext, Detector
+
+
+class SDDetector(Detector):
+    """Flag numeric cells more than ``k`` standard deviations from the mean."""
+
+    name = "sd"
+
+    def __init__(self, k: float = 3.0, columns: list[str] | None = None) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        super().__init__(k=k, columns=columns)
+        self.k = k
+        self.columns = columns
+
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        cells: set[Cell] = set()
+        scores: dict[Cell, float] = {}
+        names = self.columns or frame.numeric_column_names()
+        for name in names:
+            column = frame.column(name)
+            if not column.is_numeric():
+                continue
+            values = column.to_numpy()
+            finite = values[~np.isnan(values)]
+            if len(finite) < 3:
+                continue
+            mean = float(np.mean(finite))
+            std = float(np.std(finite))
+            if std == 0.0:
+                continue
+            z = np.abs(values - mean) / std
+            for row in np.flatnonzero(z > self.k):
+                cell = (int(row), name)
+                cells.add(cell)
+                scores[cell] = float(z[row])
+        return cells, scores, {"columns_checked": list(names)}
+
+
+class IQRDetector(Detector):
+    """Flag numeric cells outside ``[q1 - f*IQR, q3 + f*IQR]``."""
+
+    name = "iqr"
+
+    def __init__(self, factor: float = 1.5, columns: list[str] | None = None) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        super().__init__(factor=factor, columns=columns)
+        self.factor = factor
+        self.columns = columns
+
+    def _detect(
+        self, frame: DataFrame, context: DetectionContext
+    ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
+        cells: set[Cell] = set()
+        scores: dict[Cell, float] = {}
+        names = self.columns or frame.numeric_column_names()
+        for name in names:
+            column = frame.column(name)
+            if not column.is_numeric():
+                continue
+            values = column.to_numpy()
+            finite = values[~np.isnan(values)]
+            if len(finite) < 4:
+                continue
+            q1, q3 = np.quantile(finite, [0.25, 0.75])
+            iqr = float(q3 - q1)
+            if iqr == 0.0:
+                continue
+            low = q1 - self.factor * iqr
+            high = q3 + self.factor * iqr
+            outside = (values < low) | (values > high)
+            for row in np.flatnonzero(outside):
+                cell = (int(row), name)
+                cells.add(cell)
+                distance = max(low - values[row], values[row] - high)
+                scores[cell] = float(distance / iqr)
+        return cells, scores, {"columns_checked": list(names)}

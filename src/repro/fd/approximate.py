@@ -1,0 +1,68 @@
+"""Approximate FD discovery — rules that hold up to a violation budget.
+
+Real dirty data rarely satisfies any interesting FD exactly; rule-based
+cleaning therefore mines *approximate* dependencies whose g3 error (the
+minimum fraction of rows to delete so the FD holds exactly) stays under a
+tolerance, then flags the violating minority cells.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from ..dataframe import DataFrame
+from .rules import FunctionalDependency
+
+
+def g3_error(frame: DataFrame, fd: FunctionalDependency) -> float:
+    """g3 measure: fraction of rows violating the majority per LHS group."""
+    if frame.num_rows == 0:
+        return 0.0
+    groups: dict[tuple, Counter] = {}
+    for i in range(frame.num_rows):
+        key = tuple(frame.at(i, name) for name in fd.determinants)
+        groups.setdefault(key, Counter())[frame.at(i, fd.dependent)] += 1
+    keep = sum(counts.most_common(1)[0][1] for counts in groups.values())
+    return 1.0 - keep / frame.num_rows
+
+
+def approximate_fds(
+    frame: DataFrame,
+    tolerance: float = 0.08,
+    max_lhs_size: int = 1,
+    min_group_size: float = 1.5,
+    columns: list[str] | None = None,
+) -> list[FunctionalDependency]:
+    """Mine approximate FDs with g3 error below ``tolerance``.
+
+    ``min_group_size`` filters key-like determinants (average rows per
+    distinct LHS value must exceed it) — FDs whose LHS is nearly unique are
+    trivially satisfied and useless for cleaning.
+    """
+    names = list(columns) if columns is not None else frame.column_names
+    discovered: list[FunctionalDependency] = []
+    accepted_lhs: dict[str, list[frozenset[str]]] = {name: [] for name in names}
+    for size in range(1, max_lhs_size + 1):
+        for combo in combinations(names, size):
+            lhs = frozenset(combo)
+            distinct = len(
+                {
+                    tuple(frame.at(i, name) for name in combo)
+                    for i in range(frame.num_rows)
+                }
+            )
+            if distinct == 0:
+                continue
+            if frame.num_rows / distinct < min_group_size:
+                continue
+            for dependent in names:
+                if dependent in lhs:
+                    continue
+                if any(prior <= lhs for prior in accepted_lhs[dependent]):
+                    continue  # a smaller LHS already determines this RHS
+                fd = FunctionalDependency(tuple(combo), dependent)
+                if g3_error(frame, fd) <= tolerance:
+                    discovered.append(fd)
+                    accepted_lhs[dependent].append(lhs)
+    return discovered

@@ -1,0 +1,115 @@
+"""Stripped partitions — the core data structure of TANE-style FD discovery.
+
+A partition groups row indices by their value combination on an attribute
+set; *stripped* means singleton groups are dropped. The error measure
+``e(X) = ||pi_X|| - |pi_X|`` lets FD validity be decided by comparing two
+integers: ``X -> A`` holds exactly when ``e(X) == e(X ∪ {A})``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dataframe import DataFrame
+
+_MISSING_TOKEN = ("__missing__",)
+
+
+class StrippedPartition:
+    """Equivalence classes (size >= 2) of rows over one attribute set."""
+
+    __slots__ = ("classes", "n_rows")
+
+    def __init__(self, classes: Iterable[Iterable[int]], n_rows: int) -> None:
+        self.classes = [sorted(group) for group in classes if len(list(group)) >= 2]
+        # Normalize ordering so equality/repr are deterministic.
+        self.classes.sort()
+        self.n_rows = n_rows
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_column(cls, frame: DataFrame, column: str) -> "StrippedPartition":
+        groups: dict[object, list[int]] = {}
+        values = frame.column(column).values()
+        for row, value in enumerate(values):
+            key = _MISSING_TOKEN if value is None else value
+            groups.setdefault(key, []).append(row)
+        return cls(groups.values(), frame.num_rows)
+
+    @classmethod
+    def from_columns(
+        cls, frame: DataFrame, columns: Iterable[str]
+    ) -> "StrippedPartition":
+        names = list(columns)
+        if not names:
+            # pi_∅ is one class containing every row.
+            return cls([list(range(frame.num_rows))], frame.num_rows)
+        partition = cls.from_column(frame, names[0])
+        for name in names[1:]:
+            partition = partition.product(cls.from_column(frame, name))
+        return partition
+
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def size(self) -> int:
+        """||pi||: number of rows covered by non-singleton classes."""
+        return sum(len(group) for group in self.classes)
+
+    @property
+    def error(self) -> int:
+        """e(pi) = ||pi|| - |pi| — zero iff the attribute set is a superkey."""
+        return self.size - self.num_classes
+
+    def is_superkey(self) -> bool:
+        return self.error == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrippedPartition):
+            return NotImplemented
+        return self.n_rows == other.n_rows and self.classes == other.classes
+
+    def __repr__(self) -> str:
+        return (
+            f"StrippedPartition(classes={self.num_classes}, "
+            f"size={self.size}, rows={self.n_rows})"
+        )
+
+    # ------------------------------------------------------------------
+    def product(self, other: "StrippedPartition") -> "StrippedPartition":
+        """Refinement pi_X * pi_Y = pi_{X ∪ Y} (linear-time algorithm)."""
+        if self.n_rows != other.n_rows:
+            raise ValueError("partitions cover different row counts")
+        owner = [-1] * self.n_rows
+        for class_id, group in enumerate(self.classes):
+            for row in group:
+                owner[row] = class_id
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for other_id, group in enumerate(other.classes):
+            for row in group:
+                mine = owner[row]
+                if mine >= 0:
+                    buckets.setdefault((mine, other_id), []).append(row)
+        return StrippedPartition(
+            (group for group in buckets.values() if len(group) >= 2), self.n_rows
+        )
+
+    def refines(self, other: "StrippedPartition") -> bool:
+        """True if every class of self is contained in a class of other.
+
+        Rows absent from a stripped partition form singleton classes, which
+        are contained in any class, so only self's explicit classes matter.
+        """
+        owner: dict[int, int] = {}
+        for class_id, group in enumerate(other.classes):
+            for row in group:
+                owner[row] = class_id
+        for group in self.classes:
+            first = owner.get(group[0], -1 - group[0])
+            for row in group[1:]:
+                if owner.get(row, -1 - row) != first:
+                    return False
+        return True

@@ -1,0 +1,194 @@
+"""TANE — level-wise discovery of minimal functional dependencies.
+
+Implements the algorithm of Huhtala et al. (1999): a breadth-first walk of
+the attribute-set lattice with stripped partitions, rhs-candidate sets
+``C+`` for minimality pruning, and key pruning.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..dataframe import DataFrame
+from .partition import StrippedPartition
+from .rules import FunctionalDependency
+
+AttrSet = frozenset[str]
+
+
+class TaneResult:
+    """Discovered minimal FDs plus search statistics."""
+
+    def __init__(self) -> None:
+        self.dependencies: list[FunctionalDependency] = []
+        self.levels_explored = 0
+        self.partitions_computed = 0
+
+    def add(self, determinants: AttrSet, dependent: str) -> None:
+        self.dependencies.append(
+            FunctionalDependency(tuple(sorted(determinants)), dependent)
+        )
+
+
+def discover_fds(
+    frame: DataFrame,
+    max_lhs_size: int | None = None,
+    columns: list[str] | None = None,
+) -> list[FunctionalDependency]:
+    """Convenience wrapper returning the minimal FDs of a frame."""
+    return tane(frame, max_lhs_size=max_lhs_size, columns=columns).dependencies
+
+
+def tane(
+    frame: DataFrame,
+    max_lhs_size: int | None = None,
+    columns: list[str] | None = None,
+) -> TaneResult:
+    """Run TANE over ``frame``; optionally cap the LHS size for speed."""
+    attributes = list(columns) if columns is not None else frame.column_names
+    result = TaneResult()
+    if not attributes or frame.num_rows == 0:
+        return result
+    schema: AttrSet = frozenset(attributes)
+    limit = len(attributes) if max_lhs_size is None else max_lhs_size + 1
+
+    partitions: dict[AttrSet, StrippedPartition] = {
+        frozenset(): StrippedPartition.from_columns(frame, [])
+    }
+    for attribute in attributes:
+        partitions[frozenset([attribute])] = StrippedPartition.from_column(
+            frame, attribute
+        )
+        result.partitions_computed += 1
+
+    # C+(X): rhs candidates. C+(∅) = R.
+    rhs_candidates: dict[AttrSet, AttrSet] = {frozenset(): schema}
+    level: list[AttrSet] = [frozenset([a]) for a in attributes]
+
+    while level and result.levels_explored < limit:
+        result.levels_explored += 1
+        _compute_candidates(level, rhs_candidates)
+        _compute_dependencies(level, rhs_candidates, partitions, schema, result)
+        level = _prune(level, rhs_candidates, partitions, schema, result)
+        level = _generate_next_level(level, partitions, result)
+    return result
+
+
+def _compute_candidates(
+    level: list[AttrSet], rhs_candidates: dict[AttrSet, AttrSet]
+) -> None:
+    for subset in level:
+        if subset in rhs_candidates:
+            continue
+        candidate: AttrSet | None = None
+        for attribute in subset:
+            parent = subset - {attribute}
+            parent_candidates = rhs_candidates.get(parent, frozenset())
+            candidate = (
+                parent_candidates
+                if candidate is None
+                else candidate & parent_candidates
+            )
+        rhs_candidates[subset] = candidate if candidate is not None else frozenset()
+
+
+def _compute_dependencies(
+    level: list[AttrSet],
+    rhs_candidates: dict[AttrSet, AttrSet],
+    partitions: dict[AttrSet, StrippedPartition],
+    schema: AttrSet,
+    result: TaneResult,
+) -> None:
+    for subset in level:
+        for attribute in sorted(subset & rhs_candidates[subset]):
+            lhs = subset - {attribute}
+            if partitions[lhs].error == partitions[subset].error:
+                result.add(lhs, attribute)
+                rhs_candidates[subset] = rhs_candidates[subset] - {attribute}
+                rhs_candidates[subset] = rhs_candidates[subset] - (schema - subset)
+
+
+def _prune(
+    level: list[AttrSet],
+    rhs_candidates: dict[AttrSet, AttrSet],
+    partitions: dict[AttrSet, StrippedPartition],
+    schema: AttrSet,
+    result: TaneResult,
+) -> list[AttrSet]:
+    # Minimality oracle for key pruning: X -> A (with X a superkey) is
+    # minimal exactly when no already-output FD has the same dependent and
+    # a LHS contained in X — every smaller valid FD was emitted at an
+    # earlier level (or this level's compute_dependencies pass).
+    found: dict[str, list[frozenset[str]]] = {}
+    for fd in result.dependencies:
+        found.setdefault(fd.dependent, []).append(frozenset(fd.determinants))
+
+    remaining = []
+    for subset in level:
+        if not rhs_candidates[subset]:
+            continue
+        if partitions[subset].is_superkey():
+            for attribute in sorted(rhs_candidates[subset] - subset):
+                smaller = found.get(attribute, [])
+                if not any(lhs <= subset for lhs in smaller):
+                    result.add(subset, attribute)
+                    found.setdefault(attribute, []).append(subset)
+            continue
+        remaining.append(subset)
+    return remaining
+
+
+def _generate_next_level(
+    level: list[AttrSet],
+    partitions: dict[AttrSet, StrippedPartition],
+    result: TaneResult,
+) -> list[AttrSet]:
+    """Apriori-style candidate generation with partition products."""
+    level_set = set(level)
+    next_level: list[AttrSet] = []
+    seen: set[AttrSet] = set()
+    ordered = [tuple(sorted(subset)) for subset in level]
+    ordered.sort()
+    for i, left in enumerate(ordered):
+        for right in ordered[i + 1 :]:
+            if left[:-1] != right[:-1]:
+                break
+            union = frozenset(left) | frozenset(right)
+            if union in seen:
+                continue
+            if all(
+                union - {attribute} in level_set for attribute in union
+            ):
+                seen.add(union)
+                next_level.append(union)
+                if union not in partitions:
+                    partitions[union] = partitions[frozenset(left)].product(
+                        partitions[frozenset(right)]
+                    )
+                    result.partitions_computed += 1
+    return next_level
+
+
+def brute_force_fds(
+    frame: DataFrame, max_lhs_size: int | None = None
+) -> list[FunctionalDependency]:
+    """Reference oracle: enumerate and check every candidate FD.
+
+    Exponential — only for tests on small schemas. Returns minimal FDs.
+    """
+    attributes = frame.column_names
+    limit = len(attributes) - 1 if max_lhs_size is None else max_lhs_size
+    valid: list[FunctionalDependency] = []
+    for dependent in attributes:
+        others = [a for a in attributes if a != dependent]
+        minimal: list[frozenset[str]] = []
+        for size in range(0, limit + 1):
+            for combo in combinations(others, size):
+                lhs = frozenset(combo)
+                if any(m <= lhs for m in minimal):
+                    continue
+                fd = FunctionalDependency(tuple(combo), dependent)
+                if fd.holds_in(frame):
+                    minimal.append(lhs)
+                    valid.append(fd)
+    return valid

@@ -1,0 +1,132 @@
+"""Data ingestion: files, SQL databases, and the per-dataset workspace.
+
+Mirrors §2 of the paper: an upload creates a folder named after the file
+holding ``dirty.csv`` plus a ``delta`` subfolder for the version store, and
+SQL tables are loaded through a connection and then treated identically to
+uploaded files. MySQL/PostgreSQL/MSSQL are replaced by stdlib ``sqlite3``
+(same connect/select/load path, no external server needed offline).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..dataframe import DataFrame, read_csv, write_csv
+from .datasets import PRELOADED, load_clean
+
+DIRTY_FILE_NAME = "dirty.csv"
+DELTA_DIR_NAME = "delta"
+
+
+@dataclass
+class DatasetWorkspace:
+    """Filesystem layout for one ingested dataset."""
+
+    name: str
+    root: Path
+
+    @property
+    def dirty_path(self) -> Path:
+        return self.root / DIRTY_FILE_NAME
+
+    @property
+    def delta_path(self) -> Path:
+        return self.root / DELTA_DIR_NAME
+
+    def repaired_path(self, tag: str = "repaired") -> Path:
+        return self.root / f"{tag}.csv"
+
+
+class DataLoader:
+    """Feeds input data into the dashboard controller (§2, "data loader")."""
+
+    def __init__(self, base_dir: str | Path) -> None:
+        self.base_dir = Path(base_dir)
+        self.base_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def workspace_for(self, dataset_name: str) -> DatasetWorkspace:
+        root = self.base_dir / dataset_name
+        root.mkdir(parents=True, exist_ok=True)
+        (root / DELTA_DIR_NAME).mkdir(exist_ok=True)
+        return DatasetWorkspace(name=dataset_name, root=root)
+
+    def ingest_frame(self, name: str, frame: DataFrame) -> DatasetWorkspace:
+        """Register an in-memory frame as an uploaded dataset."""
+        workspace = self.workspace_for(name)
+        write_csv(frame, workspace.dirty_path)
+        return workspace
+
+    def ingest_csv(self, path: str | Path, delimiter: str = ",") -> DatasetWorkspace:
+        """Upload a CSV/TSV file; the dataset is named after the file stem."""
+        source = Path(path)
+        frame = read_csv(source, delimiter=delimiter)
+        return self.ingest_frame(source.stem, frame)
+
+    def ingest_preloaded(self, name: str) -> DatasetWorkspace:
+        """Load one of the datasets that ship with the dashboard."""
+        if name not in PRELOADED:
+            raise KeyError(f"unknown preloaded dataset {name!r}")
+        return self.ingest_frame(name, load_clean(name))
+
+    def ingest_sql(
+        self,
+        database: str | Path,
+        table: str,
+        query: str | None = None,
+    ) -> DatasetWorkspace:
+        """Load a table (or arbitrary SELECT) from a SQLite database."""
+        if query is None:
+            if not table.replace("_", "").isalnum():
+                raise ValueError(f"suspicious table name {table!r}")
+            query = f"SELECT * FROM {table}"
+        with sqlite3.connect(str(database)) as connection:
+            cursor = connection.execute(query)
+            column_names = [desc[0] for desc in cursor.description]
+            rows = cursor.fetchall()
+        frame = DataFrame.from_rows(rows, column_names)
+        return self.ingest_frame(table, frame)
+
+    # ------------------------------------------------------------------
+    def load(self, dataset_name: str) -> DataFrame:
+        """Read back the dirty CSV of an ingested dataset."""
+        workspace = self.workspace_for(dataset_name)
+        if not workspace.dirty_path.exists():
+            raise FileNotFoundError(
+                f"dataset {dataset_name!r} has no {DIRTY_FILE_NAME}"
+            )
+        return read_csv(workspace.dirty_path)
+
+    def list_datasets(self) -> list[str]:
+        return sorted(
+            p.name
+            for p in self.base_dir.iterdir()
+            if p.is_dir() and (p / DIRTY_FILE_NAME).exists()
+        )
+
+    def save_repaired(
+        self, dataset_name: str, frame: DataFrame, tag: str = "repaired"
+    ) -> Path:
+        """Persist a repaired frame next to the dirty CSV (§3, data repair)."""
+        workspace = self.workspace_for(dataset_name)
+        path = workspace.repaired_path(tag)
+        write_csv(frame, path)
+        return path
+
+
+def frame_to_sqlite(frame: DataFrame, database: str | Path, table: str) -> None:
+    """Write a frame into a SQLite table (test/demo helper)."""
+    if not table.replace("_", "").isalnum():
+        raise ValueError(f"suspicious table name {table!r}")
+    quoted = ", ".join(f'"{name}"' for name in frame.column_names)
+    placeholders = ", ".join("?" for _ in frame.column_names)
+    with sqlite3.connect(str(database)) as connection:
+        connection.execute(f"DROP TABLE IF EXISTS {table}")
+        connection.execute(f"CREATE TABLE {table} ({quoted})")
+        connection.executemany(
+            f"INSERT INTO {table} VALUES ({placeholders})",
+            [frame.row_tuple(i) for i in range(frame.num_rows)],
+        )
+        connection.commit()

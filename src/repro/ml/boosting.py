@@ -1,0 +1,153 @@
+"""Gradient boosting — the model family RAHA's original classifiers use.
+
+Binary classification via gradient-boosted regression trees on the
+logistic loss; multi-class via one-vs-rest. Regression via least-squares
+boosting. Shallow CART regressors are the weak learners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting with shrinkage."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.seed = seed
+        self._base: float = 0.0
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def fit(self, features: np.ndarray, target: Sequence[float]):
+        matrix = np.asarray(features, dtype=float)
+        y = np.asarray(list(target), dtype=float)
+        if matrix.shape[0] != y.shape[0]:
+            raise ValueError("features and target disagree on sample count")
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self._base = float(np.mean(y))
+        prediction = np.full_like(y, self._base)
+        self._trees = []
+        for i in range(self.n_estimators):
+            residual = y - prediction
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, seed=self.seed + i
+            )
+            tree.fit(matrix, residual)
+            update = np.asarray(tree.predict(matrix), dtype=float)
+            prediction = prediction + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> list[float]:
+        if not self._trees:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        prediction = np.full(matrix.shape[0], self._base)
+        for tree in self._trees:
+            prediction = prediction + self.learning_rate * np.asarray(
+                tree.predict(matrix), dtype=float
+            )
+        return [float(v) for v in prediction]
+
+
+class GradientBoostingClassifier:
+    """Logistic-loss boosting; multi-class handled one-vs-rest."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.seed = seed
+        self.classes_: list[Any] = []
+        self._base_scores: list[float] = []
+        self._ensembles: list[list[DecisionTreeRegressor]] = []
+
+    def fit(self, features: np.ndarray, target: Sequence[Any]):
+        matrix = np.asarray(features, dtype=float)
+        labels = list(target)
+        if matrix.shape[0] != len(labels):
+            raise ValueError("features and target disagree on sample count")
+        if not labels:
+            raise ValueError("cannot fit on zero samples")
+        self.classes_ = sorted(set(labels), key=str)
+        self._base_scores = []
+        self._ensembles = []
+        for class_index, label in enumerate(self.classes_):
+            y = np.array([1.0 if l == label else 0.0 for l in labels])
+            base, trees = self._fit_binary(matrix, y, class_index)
+            self._base_scores.append(base)
+            self._ensembles.append(trees)
+        return self
+
+    def _fit_binary(
+        self, matrix: np.ndarray, y: np.ndarray, class_index: int
+    ) -> tuple[float, list[DecisionTreeRegressor]]:
+        positive_rate = float(np.clip(y.mean(), 1e-6, 1.0 - 1e-6))
+        base = float(np.log(positive_rate / (1.0 - positive_rate)))
+        score = np.full_like(y, base)
+        trees: list[DecisionTreeRegressor] = []
+        for i in range(self.n_estimators):
+            probability = 1.0 / (1.0 + np.exp(-score))
+            residual = y - probability  # negative gradient of log-loss
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                seed=self.seed + class_index * 1000 + i,
+            )
+            tree.fit(matrix, residual)
+            update = np.asarray(tree.predict(matrix), dtype=float)
+            score = score + self.learning_rate * update
+            trees.append(tree)
+        return base, trees
+
+    def _raw_scores(self, matrix: np.ndarray) -> np.ndarray:
+        scores = np.zeros((matrix.shape[0], len(self.classes_)))
+        for class_index, trees in enumerate(self._ensembles):
+            score = np.full(matrix.shape[0], self._base_scores[class_index])
+            for tree in trees:
+                score = score + self.learning_rate * np.asarray(
+                    tree.predict(matrix), dtype=float
+                )
+            scores[:, class_index] = score
+        return scores
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self._ensembles:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        raw = self._raw_scores(matrix)
+        probabilities = 1.0 / (1.0 + np.exp(-raw))
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return probabilities / totals
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        probabilities = self.predict_proba(features)
+        return [self.classes_[int(i)] for i in probabilities.argmax(axis=1)]

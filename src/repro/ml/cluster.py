@@ -1,0 +1,167 @@
+"""Clustering: k-means and agglomerative — the engines behind RAHA sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ style seeding (deterministic RNG)."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+
+    def fit(self, matrix: np.ndarray) -> "KMeans":
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("matrix must be non-empty and 2-D")
+        k = min(self.n_clusters, data.shape[0])
+        centers = self._seed_centers(data, k)
+        labels = np.zeros(data.shape[0], dtype=int)
+        for _ in range(self.max_iterations):
+            distances = self._pairwise_sq(data, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for cluster in range(k):
+                members = data[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            if shift < self.tolerance:
+                break
+        self.centers_ = centers
+        self.labels_ = labels
+        self.inertia_ = float(
+            np.sum(self._pairwise_sq(data, centers)[np.arange(len(labels)), labels])
+        )
+        return self
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise RuntimeError("model is not fitted")
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim == 1:
+            data = data.reshape(1, -1)
+        return self._pairwise_sq(data, self.centers_).argmin(axis=1)
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).labels_
+
+    def _seed_centers(self, data: np.ndarray, k: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        first = int(rng.integers(data.shape[0]))
+        centers = [data[first]]
+        for _ in range(1, k):
+            distances = np.min(self._pairwise_sq(data, np.array(centers)), axis=1)
+            total = float(distances.sum())
+            if total == 0.0:
+                centers.append(data[int(rng.integers(data.shape[0]))])
+                continue
+            probabilities = distances / total
+            choice = int(rng.choice(data.shape[0], p=probabilities))
+            centers.append(data[choice])
+        return np.array(centers)
+
+    @staticmethod
+    def _pairwise_sq(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        return ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+
+
+class AgglomerativeClustering:
+    """Bottom-up hierarchical clustering with average linkage.
+
+    RAHA clusters cells of one column by their feature vectors and then
+    propagates user labels within each cluster; this class provides the
+    dendrogram cut at ``n_clusters``.
+    """
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average") -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if linkage not in ("average", "single", "complete"):
+            raise ValueError("linkage must be average, single, or complete")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.labels_: np.ndarray | None = None
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("matrix must be non-empty and 2-D")
+        n = data.shape[0]
+        k = min(self.n_clusters, n)
+        clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+        distances = self._initial_distances(data)
+        while len(clusters) > k:
+            (a, b), _ = min(distances.items(), key=lambda kv: (kv[1], kv[0]))
+            clusters[a] = clusters[a] + clusters[b]
+            del clusters[b]
+            distances = {
+                pair: dist
+                for pair, dist in distances.items()
+                if b not in pair and pair != (a, b)
+            }
+            for other in clusters:
+                if other == a:
+                    continue
+                pair = (min(a, other), max(a, other))
+                distances[pair] = self._cluster_distance(
+                    data, clusters[a], clusters[other]
+                )
+        labels = np.zeros(n, dtype=int)
+        for label, (_, members) in enumerate(sorted(clusters.items())):
+            for member in members:
+                labels[member] = label
+        self.labels_ = labels
+        return labels
+
+    def _initial_distances(self, data: np.ndarray) -> dict[tuple[int, int], float]:
+        n = data.shape[0]
+        diffs = ((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+        matrix = np.sqrt(diffs)
+        return {
+            (i, j): float(matrix[i, j]) for i in range(n) for j in range(i + 1, n)
+        }
+
+    def _cluster_distance(
+        self, data: np.ndarray, left: list[int], right: list[int]
+    ) -> float:
+        block = np.sqrt(
+            ((data[left][:, None, :] - data[right][None, :, :]) ** 2).sum(axis=2)
+        )
+        if self.linkage == "single":
+            return float(block.min())
+        if self.linkage == "complete":
+            return float(block.max())
+        return float(block.mean())
+
+
+def cluster_by_vector(matrix: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Group identical feature vectors first, then cluster the distinct ones.
+
+    This is the exact trick RAHA uses: cells of a column often share feature
+    vectors, so hierarchical clustering runs on the (much smaller) set of
+    distinct vectors and the assignment is broadcast back to all cells.
+    """
+    data = np.asarray(matrix, dtype=float)
+    distinct, inverse = np.unique(data, axis=0, return_inverse=True)
+    if len(distinct) <= n_clusters:
+        return inverse.astype(int)
+    model = AgglomerativeClustering(n_clusters=n_clusters)
+    distinct_labels = model.fit_predict(distinct)
+    return distinct_labels[inverse]

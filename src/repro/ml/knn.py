@@ -1,0 +1,70 @@
+"""k-nearest-neighbour models — the paper's categorical imputer."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class _BaseKNN:
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._train: np.ndarray | None = None
+        self._target: list[Any] = []
+
+    def fit(self, features: np.ndarray, target: Sequence[Any]):
+        """Memorize the training matrix and targets (lazy learner)."""
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        labels = list(target)
+        if matrix.shape[0] != len(labels):
+            raise ValueError("features and target disagree on sample count")
+        if not labels:
+            raise ValueError("cannot fit on zero samples")
+        self._train = matrix
+        self._target = labels
+        return self
+
+    def _neighbor_labels(self, row: np.ndarray) -> list[Any]:
+        assert self._train is not None
+        distances = np.sqrt(np.sum((self._train - row) ** 2, axis=1))
+        k = min(self.n_neighbors, len(self._target))
+        nearest = np.argsort(distances, kind="stable")[:k]
+        return [self._target[int(i)] for i in nearest]
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        """Aggregate the k nearest neighbours' targets per query row."""
+        if self._train is None:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        return [self._aggregate(self._neighbor_labels(row)) for row in matrix]
+
+    def _aggregate(self, labels: list[Any]) -> Any:
+        raise NotImplementedError
+
+
+class KNeighborsClassifier(_BaseKNN):
+    """Majority vote over the k nearest training points."""
+
+    def _aggregate(self, labels: list[Any]) -> Any:
+        counts = Counter(labels)
+        best_count = max(counts.values())
+        tied = sorted(
+            (label for label, count in counts.items() if count == best_count),
+            key=str,
+        )
+        return tied[0]
+
+
+class KNeighborsRegressor(_BaseKNN):
+    """Mean of the k nearest targets."""
+
+    def _aggregate(self, labels: list[Any]) -> float:
+        return float(np.mean([float(label) for label in labels]))

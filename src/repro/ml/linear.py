@@ -1,0 +1,114 @@
+"""Linear models: least-squares regression and logistic classification."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares via the pseudo-inverse (stable on rank-deficient X)."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, target: Sequence[float]) -> "LinearRegression":
+        matrix = np.asarray(features, dtype=float)
+        y = np.asarray(list(target), dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if matrix.shape[0] != y.shape[0]:
+            raise ValueError("features and target disagree on sample count")
+        design = (
+            np.column_stack([np.ones(matrix.shape[0]), matrix])
+            if self.fit_intercept
+            else matrix
+        )
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, features: np.ndarray) -> list[float]:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        return [float(v) for v in matrix @ self.coef_ + self.intercept_]
+
+
+class LogisticRegression:
+    """Multinomial logistic regression fitted with batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.seed = seed
+        self.classes_: list[Any] = []
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, target: Sequence[Any]) -> "LogisticRegression":
+        matrix = np.asarray(features, dtype=float)
+        labels = list(target)
+        if matrix.shape[0] != len(labels):
+            raise ValueError("features and target disagree on sample count")
+        self.classes_ = sorted(set(labels), key=str)
+        index = {label: i for i, label in enumerate(self.classes_)}
+        codes = np.array([index[label] for label in labels])
+
+        self._mean = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        standardized = (matrix - self._mean) / self._scale
+        design = np.column_stack([np.ones(standardized.shape[0]), standardized])
+
+        n_classes = len(self.classes_)
+        onehot = np.zeros((len(codes), n_classes))
+        onehot[np.arange(len(codes)), codes] = 1.0
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(design.shape[1], n_classes))
+        for _ in range(self.n_iterations):
+            probabilities = self._softmax(design @ weights)
+            gradient = design.T @ (probabilities - onehot) / len(codes)
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        return self
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        standardized = (matrix - self._mean) / self._scale
+        design = np.column_stack([np.ones(standardized.shape[0]), standardized])
+        return self._softmax(design @ self._weights)
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        probabilities = self.predict_proba(features)
+        return [self.classes_[int(i)] for i in probabilities.argmax(axis=1)]

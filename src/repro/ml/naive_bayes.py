@@ -1,0 +1,72 @@
+"""Gaussian naive Bayes — a cheap probabilistic classifier for the tool zoo."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class GaussianNB:
+    """Gaussian naive Bayes with per-class feature means/variances."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: list[Any] = []
+        self._priors: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, target: Sequence[Any]) -> "GaussianNB":
+        matrix = np.asarray(features, dtype=float)
+        labels = list(target)
+        if matrix.shape[0] != len(labels):
+            raise ValueError("features and target disagree on sample count")
+        if not labels:
+            raise ValueError("cannot fit on zero samples")
+        counts = Counter(labels)
+        self.classes_ = sorted(counts, key=str)
+        n_classes = len(self.classes_)
+        n_features = matrix.shape[1]
+        self._priors = np.array(
+            [counts[label] / len(labels) for label in self.classes_]
+        )
+        self._means = np.zeros((n_classes, n_features))
+        self._variances = np.zeros((n_classes, n_features))
+        global_var = float(np.var(matrix)) if matrix.size else 1.0
+        smoothing = self.var_smoothing * max(global_var, 1e-12)
+        for i, label in enumerate(self.classes_):
+            rows = matrix[[j for j, l in enumerate(labels) if l == label]]
+            self._means[i] = rows.mean(axis=0)
+            self._variances[i] = rows.var(axis=0) + smoothing
+        return self
+
+    def _log_likelihood(self, matrix: np.ndarray) -> np.ndarray:
+        assert self._means is not None and self._variances is not None
+        log_prior = np.log(self._priors)
+        out = np.zeros((matrix.shape[0], len(self.classes_)))
+        for i in range(len(self.classes_)):
+            var = self._variances[i]
+            diff = matrix - self._means[i]
+            out[:, i] = (
+                log_prior[i]
+                - 0.5 * np.sum(np.log(2.0 * np.pi * var))
+                - 0.5 * np.sum(diff**2 / var, axis=1)
+            )
+        return out
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._means is None:
+            raise RuntimeError("model is not fitted")
+        matrix = np.asarray(features, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        log_like = self._log_likelihood(matrix)
+        shifted = log_like - log_like.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> list[Any]:
+        probabilities = self.predict_proba(features)
+        return [self.classes_[int(i)] for i in probabilities.argmax(axis=1)]

@@ -1,0 +1,88 @@
+"""Epsilon-greedy bandit sampler (paper future work 3).
+
+The paper's outlook suggests "reinforcement learning for dynamic tool
+selection": treat each categorical choice (detector, repairer) as a bandit
+arm, keep running reward estimates from completed trials, exploit the best
+arms with probability 1-epsilon and explore uniformly otherwise. Numeric
+hyperparameters fall back to random sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .distributions import Categorical, Distribution
+from .samplers import Sampler
+from .trial import COMPLETE, FrozenTrial
+
+
+class BanditSampler(Sampler):
+    """Per-parameter epsilon-greedy selection over categorical arms."""
+
+    def __init__(self, epsilon: float = 0.2, decay: float = 0.95) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.epsilon = epsilon
+        self.decay = decay
+        self._round = 0
+
+    def seed_params(
+        self,
+        history: Sequence[FrozenTrial],
+        direction: str,
+        rng: np.random.Generator,
+    ) -> dict[str, Any]:
+        complete = [
+            trial
+            for trial in history
+            if trial.state == COMPLETE and trial.value is not None
+        ]
+        if not complete:
+            return {}
+        self._round += 1
+        epsilon = self.epsilon * (self.decay ** self._round)
+
+        distributions: dict[str, Distribution] = {}
+        for trial in complete:
+            distributions.update(trial.distributions)
+
+        seeded: dict[str, Any] = {}
+        for name, distribution in distributions.items():
+            if not isinstance(distribution, Categorical):
+                continue  # numeric knobs stay randomly sampled
+            if rng.random() < epsilon:
+                continue  # explore: leave unseeded -> uniform sample
+            best_arm = self._best_arm(
+                complete, name, distribution, direction
+            )
+            if best_arm is not None:
+                seeded[name] = best_arm
+        return seeded
+
+    def _best_arm(
+        self,
+        trials: Sequence[FrozenTrial],
+        name: str,
+        distribution: Categorical,
+        direction: str,
+    ) -> Any:
+        rewards: dict[Any, list[float]] = {}
+        for trial in trials:
+            if name in trial.params:
+                rewards.setdefault(trial.params[name], []).append(trial.value)
+        scored = {
+            arm: float(np.mean(values)) for arm, values in rewards.items()
+        }
+        if not scored:
+            return None
+        # Prefer untried arms once per round so every arm gets explored.
+        untried = [arm for arm in distribution.choices if arm not in scored]
+        if untried and self._round <= len(distribution.choices):
+            return untried[0]
+        if direction == "minimize":
+            return min(scored, key=scored.get)
+        return max(scored, key=scored.get)

@@ -1,0 +1,118 @@
+"""Search-space distributions for the hyperparameter optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class Distribution:
+    """Base class for parameter distributions."""
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Categorical(Distribution):
+    """Uniform choice over a finite set of values."""
+
+    choices: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError("Categorical needs at least one choice")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+
+@dataclass(frozen=True)
+class IntUniform(Distribution):
+    """Uniform integers in [low, high] inclusive, optional step."""
+
+    low: int
+    high: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        count = (self.high - self.low) // self.step + 1
+        return self.low + self.step * int(rng.integers(count))
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, np.integer)):
+            return False
+        return (
+            self.low <= value <= self.high
+            and (value - self.low) % self.step == 0
+        )
+
+
+@dataclass(frozen=True)
+class FloatUniform(Distribution):
+    """Uniform floats in [low, high]; optionally log-scaled."""
+
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+        if self.log and self.low <= 0:
+            raise ValueError("log scale requires positive bounds")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(
+                np.exp(rng.uniform(np.log(self.low), np.log(self.high)))
+            )
+        return float(rng.uniform(self.low, self.high))
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, float, np.floating)):
+            return False
+        return self.low <= float(value) <= self.high
+
+
+def grid_points(distribution: Distribution, resolution: int = 5) -> Sequence[Any]:
+    """Representative points for grid search."""
+    if isinstance(distribution, Categorical):
+        return list(distribution.choices)
+    if isinstance(distribution, IntUniform):
+        values = list(range(distribution.low, distribution.high + 1, distribution.step))
+        if len(values) <= resolution:
+            return values
+        picks = np.linspace(0, len(values) - 1, resolution).astype(int)
+        return [values[int(i)] for i in picks]
+    if isinstance(distribution, FloatUniform):
+        if distribution.log:
+            return [
+                float(v)
+                for v in np.exp(
+                    np.linspace(
+                        np.log(distribution.low),
+                        np.log(distribution.high),
+                        resolution,
+                    )
+                )
+            ]
+        return [
+            float(v)
+            for v in np.linspace(distribution.low, distribution.high, resolution)
+        ]
+    raise TypeError(f"unknown distribution {type(distribution).__name__}")

@@ -1,0 +1,210 @@
+"""Samplers: random, TPE (sequential model-based), and grid.
+
+The TPE sampler is the "Bayesian hyperparameter optimization algorithm"
+the paper delegates to Optuna (§4): past trials are split into a good and
+a bad set, per-parameter densities l(x) and g(x) are estimated for each
+set, and candidates maximizing l(x)/g(x) are proposed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+import numpy as np
+
+from .distributions import (
+    Categorical,
+    Distribution,
+    FloatUniform,
+    IntUniform,
+    grid_points,
+)
+from .trial import COMPLETE, FrozenTrial
+
+
+class Sampler:
+    """Proposes parameter values for the next trial."""
+
+    def seed_params(
+        self,
+        history: Sequence[FrozenTrial],
+        direction: str,
+        rng: np.random.Generator,
+    ) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class RandomSampler(Sampler):
+    """Independent sampling from each distribution (no seeding needed)."""
+
+    def seed_params(
+        self,
+        history: Sequence[FrozenTrial],
+        direction: str,
+        rng: np.random.Generator,
+    ) -> dict[str, Any]:
+        return {}
+
+
+class GridSampler(Sampler):
+    """Exhaustive sweep over the cartesian product of grid points.
+
+    The grid is built lazily from the distributions observed in the first
+    trial; until then it behaves randomly.
+    """
+
+    def __init__(self, resolution: int = 4) -> None:
+        self.resolution = resolution
+        self._grid: list[dict[str, Any]] | None = None
+        self._cursor = 0
+
+    def seed_params(
+        self,
+        history: Sequence[FrozenTrial],
+        direction: str,
+        rng: np.random.Generator,
+    ) -> dict[str, Any]:
+        if self._grid is None:
+            if not history:
+                return {}
+            self._grid = self._build_grid(history[0].distributions)
+        if not self._grid:
+            return {}
+        params = self._grid[self._cursor % len(self._grid)]
+        self._cursor += 1
+        return dict(params)
+
+    def _build_grid(
+        self, distributions: dict[str, Distribution]
+    ) -> list[dict[str, Any]]:
+        names = sorted(distributions)
+        axes = [grid_points(distributions[n], self.resolution) for n in names]
+        return [
+            dict(zip(names, combo)) for combo in itertools.product(*axes)
+        ]
+
+
+class TPESampler(Sampler):
+    """Tree-structured Parzen Estimator over independent parameters."""
+
+    def __init__(
+        self,
+        n_startup_trials: int = 5,
+        gamma: float = 0.25,
+        n_candidates: int = 24,
+    ) -> None:
+        if not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        self.n_startup_trials = n_startup_trials
+        self.gamma = gamma
+        self.n_candidates = n_candidates
+
+    # ------------------------------------------------------------------
+    def seed_params(
+        self,
+        history: Sequence[FrozenTrial],
+        direction: str,
+        rng: np.random.Generator,
+    ) -> dict[str, Any]:
+        complete = [t for t in history if t.state == COMPLETE and t.value is not None]
+        if len(complete) < self.n_startup_trials:
+            return {}
+        ordered = sorted(
+            complete,
+            key=lambda t: t.value,
+            reverse=(direction == "maximize"),
+        )
+        n_good = max(1, int(np.ceil(self.gamma * len(ordered))))
+        good = ordered[:n_good]
+        bad = ordered[n_good:] or ordered[-1:]
+
+        distributions: dict[str, Distribution] = {}
+        for trial in complete:
+            distributions.update(trial.distributions)
+
+        seeded: dict[str, Any] = {}
+        for name, distribution in distributions.items():
+            good_values = [t.params[name] for t in good if name in t.params]
+            bad_values = [t.params[name] for t in bad if name in t.params]
+            if not good_values:
+                continue
+            seeded[name] = self._propose(
+                distribution, good_values, bad_values, rng
+            )
+        return seeded
+
+    # ------------------------------------------------------------------
+    def _propose(
+        self,
+        distribution: Distribution,
+        good_values: list[Any],
+        bad_values: list[Any],
+        rng: np.random.Generator,
+    ) -> Any:
+        if isinstance(distribution, Categorical):
+            return self._propose_categorical(
+                distribution, good_values, bad_values, rng
+            )
+        return self._propose_numeric(distribution, good_values, bad_values, rng)
+
+    def _propose_categorical(
+        self,
+        distribution: Categorical,
+        good_values: list[Any],
+        bad_values: list[Any],
+        rng: np.random.Generator,
+    ) -> Any:
+        choices = distribution.choices
+        alpha = 1.0
+        good_weights = np.array(
+            [good_values.count(c) + alpha for c in choices], dtype=float
+        )
+        bad_weights = np.array(
+            [bad_values.count(c) + alpha for c in choices], dtype=float
+        )
+        ratio = (good_weights / good_weights.sum()) / (
+            bad_weights / bad_weights.sum()
+        )
+        probabilities = ratio / ratio.sum()
+        return choices[int(rng.choice(len(choices), p=probabilities))]
+
+    def _propose_numeric(
+        self,
+        distribution: Distribution,
+        good_values: list[Any],
+        bad_values: list[Any],
+        rng: np.random.Generator,
+    ) -> Any:
+        if isinstance(distribution, IntUniform):
+            low, high = float(distribution.low), float(distribution.high)
+        elif isinstance(distribution, FloatUniform):
+            low, high = distribution.low, distribution.high
+        else:
+            return distribution.sample(rng)
+        span = max(high - low, 1e-12)
+        good = np.array([float(v) for v in good_values])
+        bad = np.array([float(v) for v in bad_values]) if bad_values else good
+        bandwidth = max(span / 6.0, 1e-9)
+
+        candidates = []
+        for _ in range(self.n_candidates):
+            center = float(good[int(rng.integers(len(good)))])
+            value = float(np.clip(rng.normal(center, bandwidth), low, high))
+            candidates.append(value)
+
+        def log_density(points: np.ndarray, value: float) -> float:
+            kernel = np.exp(-0.5 * ((points - value) / bandwidth) ** 2)
+            return float(np.log(kernel.mean() + 1e-12))
+
+        best = max(
+            candidates,
+            key=lambda v: log_density(good, v) - log_density(bad, v),
+        )
+        if isinstance(distribution, IntUniform):
+            step = distribution.step
+            snapped = distribution.low + step * round(
+                (best - distribution.low) / step
+            )
+            return int(np.clip(snapped, distribution.low, distribution.high))
+        return best

@@ -1,0 +1,199 @@
+"""Data-quality alerts — the "potential data quality issues" flags the
+profile report raises (ydata-profiling style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..dataframe import DataFrame
+from .correlations import highly_correlated_pairs
+from .stats import column_summary
+
+HIGH_MISSING = "high_missing"
+CONSTANT = "constant"
+HIGH_CARDINALITY = "high_cardinality"
+UNIQUE = "unique"
+SKEWED = "skewed"
+ZEROS = "many_zeros"
+HIGH_CORRELATION = "high_correlation"
+DUPLICATE_ROWS = "duplicate_rows"
+IMBALANCE = "class_imbalance"
+SUSPICIOUS_SENTINEL = "suspicious_sentinel"
+
+#: Numeric values that frequently disguise missing data.
+SENTINEL_VALUES = (-1.0, 0.0, 9999.0, 99999.0)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One quality finding: the kind, affected column, and evidence."""
+
+    kind: str
+    column: str | None
+    message: str
+    details: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "column": self.column,
+            "message": self.message,
+            "details": self.details,
+        }
+
+
+def generate_alerts(
+    frame: DataFrame,
+    missing_threshold: float = 0.2,
+    cardinality_threshold: float = 0.5,
+    skew_threshold: float = 3.0,
+    zeros_threshold: float = 0.25,
+    correlation_threshold: float = 0.95,
+    imbalance_threshold: float = 0.9,
+    sentinel_threshold: float = 0.01,
+) -> list[Alert]:
+    """Scan a frame and produce quality alerts."""
+    alerts: list[Alert] = []
+    for name in frame.column_names:
+        summary = column_summary(frame.column(name))
+        alerts.extend(_column_alerts(name, summary, frame.num_rows, locals()))
+
+    duplicates = frame.duplicate_row_indices()
+    if duplicates:
+        alerts.append(
+            Alert(
+                DUPLICATE_ROWS,
+                None,
+                f"{len(duplicates)} duplicate rows",
+                {"rows": duplicates[:50], "count": len(duplicates)},
+            )
+        )
+    for left, right, value in highly_correlated_pairs(
+        frame, threshold=correlation_threshold
+    ):
+        alerts.append(
+            Alert(
+                HIGH_CORRELATION,
+                left,
+                f"{left} and {right} are highly correlated ({value:.2f})",
+                {"other_column": right, "correlation": value},
+            )
+        )
+    return alerts
+
+
+def _column_alerts(
+    name: str, summary: dict[str, Any], n_rows: int, thresholds: dict[str, Any]
+) -> list[Alert]:
+    alerts: list[Alert] = []
+    missing_fraction = summary["missing_fraction"]
+    if missing_fraction >= thresholds["missing_threshold"]:
+        alerts.append(
+            Alert(
+                HIGH_MISSING,
+                name,
+                f"{name} is missing in {missing_fraction:.0%} of rows",
+                {"missing_fraction": missing_fraction},
+            )
+        )
+    distinct = summary["distinct"]
+    non_missing = summary["rows"] - summary["missing"]
+    if non_missing > 0 and distinct <= 1:
+        alerts.append(
+            Alert(CONSTANT, name, f"{name} is constant", {"distinct": distinct})
+        )
+    statistics = summary["statistics"]
+    if summary["is_numeric"]:
+        if statistics.get("count", 0) >= 3 and abs(
+            statistics.get("skewness", 0.0)
+        ) >= thresholds["skew_threshold"]:
+            alerts.append(
+                Alert(
+                    SKEWED,
+                    name,
+                    f"{name} is highly skewed "
+                    f"(skewness {statistics['skewness']:.2f})",
+                    {"skewness": statistics["skewness"]},
+                )
+            )
+        if statistics.get("zeros_fraction", 0.0) >= thresholds["zeros_threshold"]:
+            alerts.append(
+                Alert(
+                    ZEROS,
+                    name,
+                    f"{name} has {statistics['zeros_fraction']:.0%} zeros",
+                    {"zeros_fraction": statistics["zeros_fraction"]},
+                )
+            )
+        alerts.extend(_sentinel_alerts(name, statistics, thresholds))
+    else:
+        if non_missing > 0 and distinct == non_missing and distinct > 1:
+            alerts.append(
+                Alert(
+                    UNIQUE,
+                    name,
+                    f"{name} has unique values (possible identifier)",
+                    {"distinct": distinct},
+                )
+            )
+        elif (
+            non_missing > 0
+            and distinct / non_missing >= thresholds["cardinality_threshold"]
+            and distinct > 20
+        ):
+            alerts.append(
+                Alert(
+                    HIGH_CARDINALITY,
+                    name,
+                    f"{name} has high cardinality ({distinct} levels)",
+                    {"distinct": distinct},
+                )
+            )
+        mode_fraction = statistics.get("mode_fraction", 0.0)
+        if distinct > 1 and mode_fraction >= thresholds["imbalance_threshold"]:
+            alerts.append(
+                Alert(
+                    IMBALANCE,
+                    name,
+                    f"{name} is dominated by one level "
+                    f"({mode_fraction:.0%} of rows)",
+                    {"mode_fraction": mode_fraction},
+                )
+            )
+    return alerts
+
+
+def _sentinel_alerts(
+    name: str, statistics: dict[str, Any], thresholds: dict[str, Any]
+) -> list[Alert]:
+    """Flag suspicious repeated sentinel values (FAHES-style hint)."""
+    alerts = []
+    count = statistics.get("count", 0)
+    if count == 0:
+        return alerts
+    minimum = statistics.get("min")
+    maximum = statistics.get("max")
+    for sentinel in SENTINEL_VALUES:
+        if sentinel == 0.0:
+            fraction = statistics.get("zeros_fraction", 0.0)
+        elif minimum is not None and sentinel in (minimum, maximum):
+            # Sentinel sits exactly at the domain boundary — suspicious when
+            # it is far from the bulk of the data.
+            q25 = statistics.get("q25", 0.0)
+            q75 = statistics.get("q75", 0.0)
+            iqr = statistics.get("iqr", 0.0) or 1.0
+            outside = sentinel < q25 - 3 * iqr or sentinel > q75 + 3 * iqr
+            fraction = thresholds["sentinel_threshold"] if outside else 0.0
+        else:
+            continue
+        if fraction >= thresholds["sentinel_threshold"] and sentinel != 0.0:
+            alerts.append(
+                Alert(
+                    SUSPICIOUS_SENTINEL,
+                    name,
+                    f"{name} repeats the sentinel value {sentinel}",
+                    {"sentinel": sentinel},
+                )
+            )
+    return alerts

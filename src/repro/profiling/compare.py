@@ -1,0 +1,176 @@
+"""Profile comparison — drift between two dataset versions.
+
+The paper's introduction motivates *ongoing* quality management: "It
+requires ongoing monitoring and adjustment as new data comes in, as the
+nature of the data changes". This module diffs two profile reports (or two
+frames) and surfaces schema changes, distribution shift per column, and
+missingness/quality movement — the signal a monitoring loop alerts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import DataFrame
+
+SCHEMA_ADDED = "column_added"
+SCHEMA_REMOVED = "column_removed"
+DTYPE_CHANGED = "dtype_changed"
+MISSINGNESS_SHIFT = "missingness_shift"
+DISTRIBUTION_SHIFT = "distribution_shift"
+CARDINALITY_SHIFT = "cardinality_shift"
+
+
+@dataclass
+class DriftFinding:
+    """One detected difference between the baseline and current data."""
+
+    kind: str
+    column: str | None
+    severity: float  # 0..1, larger = more drift
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+def population_stability_index(
+    baseline: np.ndarray, current: np.ndarray, bins: int = 10
+) -> float:
+    """PSI between two numeric samples (industry drift measure).
+
+    PSI < 0.1 is stable, 0.1-0.25 moderate shift, > 0.25 major shift.
+    """
+    baseline = baseline[~np.isnan(baseline)]
+    current = current[~np.isnan(current)]
+    if len(baseline) < 2 or len(current) < 2:
+        return 0.0
+    edges = np.unique(np.quantile(baseline, np.linspace(0, 1, bins + 1)))
+    if len(edges) < 3:
+        return 0.0
+    edges[0] = min(edges[0], float(current.min())) - 1e-9
+    edges[-1] = max(edges[-1], float(current.max())) + 1e-9
+    base_counts, _ = np.histogram(baseline, bins=edges)
+    curr_counts, _ = np.histogram(current, bins=edges)
+    base_frac = np.clip(base_counts / base_counts.sum(), 1e-6, None)
+    curr_frac = np.clip(curr_counts / curr_counts.sum(), 1e-6, None)
+    return float(np.sum((curr_frac - base_frac) * np.log(curr_frac / base_frac)))
+
+
+def categorical_shift(baseline: list, current: list) -> float:
+    """Total-variation distance between category distributions (0..1)."""
+    base_values = [v for v in baseline if v is not None]
+    curr_values = [v for v in current if v is not None]
+    if not base_values or not curr_values:
+        return 0.0
+    levels = set(base_values) | set(curr_values)
+    distance = 0.0
+    for level in levels:
+        base_frac = base_values.count(level) / len(base_values)
+        curr_frac = curr_values.count(level) / len(curr_values)
+        distance += abs(base_frac - curr_frac)
+    return distance / 2.0
+
+
+def compare_frames(
+    baseline: DataFrame,
+    current: DataFrame,
+    psi_threshold: float = 0.1,
+    missing_threshold: float = 0.05,
+    categorical_threshold: float = 0.1,
+) -> list[DriftFinding]:
+    """Diff two frames and return drift findings sorted by severity."""
+    findings: list[DriftFinding] = []
+    base_columns = set(baseline.column_names)
+    curr_columns = set(current.column_names)
+
+    for name in sorted(curr_columns - base_columns):
+        findings.append(
+            DriftFinding(SCHEMA_ADDED, name, 1.0, f"column {name!r} appeared")
+        )
+    for name in sorted(base_columns - curr_columns):
+        findings.append(
+            DriftFinding(SCHEMA_REMOVED, name, 1.0, f"column {name!r} vanished")
+        )
+
+    for name in sorted(base_columns & curr_columns):
+        base_col = baseline.column(name)
+        curr_col = current.column(name)
+        if base_col.dtype != curr_col.dtype:
+            findings.append(
+                DriftFinding(
+                    DTYPE_CHANGED,
+                    name,
+                    0.9,
+                    f"{name} changed dtype {base_col.dtype} -> {curr_col.dtype}",
+                    {"from": base_col.dtype, "to": curr_col.dtype},
+                )
+            )
+            continue
+        base_missing = base_col.missing_count() / max(1, len(base_col))
+        curr_missing = curr_col.missing_count() / max(1, len(curr_col))
+        delta = abs(curr_missing - base_missing)
+        if delta >= missing_threshold:
+            findings.append(
+                DriftFinding(
+                    MISSINGNESS_SHIFT,
+                    name,
+                    min(1.0, delta * 4),
+                    f"{name} missingness moved "
+                    f"{base_missing:.1%} -> {curr_missing:.1%}",
+                    {"before": base_missing, "after": curr_missing},
+                )
+            )
+        if base_col.is_numeric():
+            psi = population_stability_index(
+                base_col.to_numpy(), curr_col.to_numpy()
+            )
+            if psi >= psi_threshold:
+                findings.append(
+                    DriftFinding(
+                        DISTRIBUTION_SHIFT,
+                        name,
+                        min(1.0, psi / 0.5),
+                        f"{name} distribution shifted (PSI {psi:.2f})",
+                        {"psi": psi},
+                    )
+                )
+        else:
+            shift = categorical_shift(base_col.values(), curr_col.values())
+            if shift >= categorical_threshold:
+                findings.append(
+                    DriftFinding(
+                        CARDINALITY_SHIFT,
+                        name,
+                        min(1.0, shift * 2),
+                        f"{name} category mix shifted "
+                        f"(total variation {shift:.2f})",
+                        {"total_variation": shift},
+                    )
+                )
+    findings.sort(key=lambda finding: -finding.severity)
+    return findings
+
+
+def drift_report(
+    baseline: DataFrame, current: DataFrame, **thresholds: float
+) -> dict[str, Any]:
+    """Structured drift report for dashboards / the REST layer."""
+    findings = compare_frames(baseline, current, **thresholds)
+    return {
+        "baseline_shape": list(baseline.shape),
+        "current_shape": list(current.shape),
+        "num_findings": len(findings),
+        "max_severity": max((f.severity for f in findings), default=0.0),
+        "findings": [
+            {
+                "kind": f.kind,
+                "column": f.column,
+                "severity": round(f.severity, 3),
+                "message": f.message,
+                "details": f.details,
+            }
+            for f in findings
+        ],
+    }

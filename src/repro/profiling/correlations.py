@@ -1,0 +1,131 @@
+"""Correlation measures between columns (numeric and categorical)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataframe import DataFrame
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation over pairwise-complete observations."""
+    mask = ~(np.isnan(x) | np.isnan(y))
+    if mask.sum() < 2:
+        return 0.0
+    xs = x[mask]
+    ys = y[mask]
+    std_x = np.std(xs)
+    std_y = np.std(ys)
+    if std_x == 0.0 or std_y == 0.0:
+        return 0.0
+    return float(np.mean((xs - xs.mean()) * (ys - ys.mean())) / (std_x * std_y))
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank block)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    i = 0
+    while i < len(values):
+        j = i
+        while (
+            j + 1 < len(values)
+            and values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation over pairwise-complete observations."""
+    mask = ~(np.isnan(x) | np.isnan(y))
+    if mask.sum() < 2:
+        return 0.0
+    return pearson(_rank(x[mask]), _rank(y[mask]))
+
+
+def cramers_v(left: list, right: list) -> float:
+    """Cramér's V between two categorical columns (bias-corrected)."""
+    pairs = [
+        (l, r) for l, r in zip(left, right) if l is not None and r is not None
+    ]
+    if len(pairs) < 2:
+        return 0.0
+    left_levels = sorted({l for l, _ in pairs}, key=str)
+    right_levels = sorted({r for _, r in pairs}, key=str)
+    if len(left_levels) < 2 or len(right_levels) < 2:
+        return 0.0
+    left_index = {level: i for i, level in enumerate(left_levels)}
+    right_index = {level: i for i, level in enumerate(right_levels)}
+    table = np.zeros((len(left_levels), len(right_levels)))
+    for l, r in pairs:
+        table[left_index[l], right_index[r]] += 1
+    n = table.sum()
+    expected = np.outer(table.sum(axis=1), table.sum(axis=0)) / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(
+            np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+        )
+    phi2 = chi2 / n
+    rows, cols = table.shape
+    phi2_corrected = max(0.0, phi2 - (rows - 1) * (cols - 1) / (n - 1))
+    rows_corrected = rows - (rows - 1) ** 2 / (n - 1)
+    cols_corrected = cols - (cols - 1) ** 2 / (n - 1)
+    denominator = min(rows_corrected - 1, cols_corrected - 1)
+    if denominator <= 0:
+        return 0.0
+    return float(np.sqrt(phi2_corrected / denominator))
+
+
+def correlation_matrix(
+    frame: DataFrame, method: str = "pearson"
+) -> tuple[list[str], np.ndarray]:
+    """Numeric correlation matrix by Pearson or Spearman."""
+    if method not in ("pearson", "spearman"):
+        raise ValueError("method must be 'pearson' or 'spearman'")
+    names = frame.numeric_column_names()
+    measure = pearson if method == "pearson" else spearman
+    arrays = {name: frame.column(name).to_numpy() for name in names}
+    matrix = np.eye(len(names))
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            if j <= i:
+                continue
+            value = measure(arrays[a], arrays[b])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return names, matrix
+
+
+def categorical_association_matrix(
+    frame: DataFrame,
+) -> tuple[list[str], np.ndarray]:
+    """Cramér's V matrix across categorical columns."""
+    names = frame.categorical_column_names()
+    columns = {name: frame.column(name).values() for name in names}
+    matrix = np.eye(len(names))
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            if j <= i:
+                continue
+            value = cramers_v(columns[a], columns[b])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return names, matrix
+
+
+def highly_correlated_pairs(
+    frame: DataFrame, threshold: float = 0.9, method: str = "pearson"
+) -> list[tuple[str, str, float]]:
+    """Column pairs whose |correlation| meets the threshold."""
+    names, matrix = correlation_matrix(frame, method)
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if abs(matrix[i, j]) >= threshold:
+                pairs.append((names[i], names[j], float(matrix[i, j])))
+    return pairs

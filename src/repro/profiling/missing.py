@@ -1,0 +1,69 @@
+"""Missing-data analysis: counts, patterns, and co-missingness."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import DataFrame
+
+
+def missing_summary(frame: DataFrame) -> dict[str, Any]:
+    """Overall and per-column missing-cell statistics."""
+    per_column = {
+        name: frame.column(name).missing_count() for name in frame.column_names
+    }
+    total_cells = frame.num_rows * frame.num_columns
+    total_missing = sum(per_column.values())
+    rows_with_missing = sum(
+        1
+        for i in range(frame.num_rows)
+        if any(frame.at(i, name) is None for name in frame.column_names)
+    )
+    return {
+        "total_cells": total_cells,
+        "missing_cells": total_missing,
+        "missing_fraction": total_missing / total_cells if total_cells else 0.0,
+        "per_column": per_column,
+        "per_column_fraction": {
+            name: count / frame.num_rows if frame.num_rows else 0.0
+            for name, count in per_column.items()
+        },
+        "rows_with_missing": rows_with_missing,
+        "complete_rows": frame.num_rows - rows_with_missing,
+    }
+
+
+def missing_patterns(frame: DataFrame, top_k: int = 10) -> list[dict[str, Any]]:
+    """Most frequent row-level missingness patterns.
+
+    A pattern is the tuple of column names missing in a row; the empty
+    pattern (complete rows) is included.
+    """
+    patterns: Counter = Counter()
+    for i in range(frame.num_rows):
+        missing = tuple(
+            name for name in frame.column_names if frame.at(i, name) is None
+        )
+        patterns[missing] += 1
+    return [
+        {"missing_columns": list(pattern), "rows": count}
+        for pattern, count in patterns.most_common(top_k)
+    ]
+
+
+def co_missingness(frame: DataFrame) -> tuple[list[str], np.ndarray]:
+    """Matrix of co-occurring missingness between column pairs.
+
+    Entry (i, j) counts rows where both columns are missing; the diagonal
+    holds each column's missing count.
+    """
+    names = frame.column_names
+    masks = {name: np.array(frame.column(name).is_missing()) for name in names}
+    matrix = np.zeros((len(names), len(names)), dtype=int)
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            matrix[i, j] = int(np.sum(masks[a] & masks[b]))
+    return names, matrix

@@ -1,0 +1,130 @@
+"""The profile report object — DataLens's "Data Profile" tab payload."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from html import escape
+from typing import Any
+
+from ..dataframe import DataFrame
+from .alerts import Alert, generate_alerts
+from .correlations import categorical_association_matrix, correlation_matrix
+from .histogram import histogram
+from .missing import missing_patterns, missing_summary
+from .stats import column_summary
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated dataset profile: overview, columns, correlations, alerts."""
+
+    overview: dict[str, Any]
+    columns: list[dict[str, Any]]
+    correlations: dict[str, Any]
+    missing: dict[str, Any]
+    alerts: list[Alert] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "overview": self.overview,
+            "columns": self.columns,
+            "correlations": self.correlations,
+            "missing": self.missing,
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def to_html(self) -> str:
+        """Minimal standalone HTML rendering of the profile."""
+        parts = ["<section class='profile'>", "<h2>Data Profile</h2>"]
+        overview_rows = "".join(
+            f"<tr><th>{escape(str(key))}</th><td>{escape(str(value))}</td></tr>"
+            for key, value in self.overview.items()
+        )
+        parts.append(f"<table class='overview'>{overview_rows}</table>")
+        if self.alerts:
+            items = "".join(
+                f"<li class='alert alert-{escape(alert.kind)}'>"
+                f"{escape(alert.message)}</li>"
+                for alert in self.alerts
+            )
+            parts.append(f"<h3>Alerts</h3><ul>{items}</ul>")
+        parts.append("<h3>Columns</h3>")
+        for column in self.columns:
+            parts.append(_column_html(column))
+        parts.append("</section>")
+        return "".join(parts)
+
+    def alert_kinds(self) -> set[str]:
+        return {alert.kind for alert in self.alerts}
+
+
+def _column_html(column: dict[str, Any]) -> str:
+    stats = column["statistics"]
+    rows = "".join(
+        f"<tr><th>{escape(str(key))}</th><td>{escape(str(value))}</td></tr>"
+        for key, value in stats.items()
+        if not isinstance(value, (list, dict))
+    )
+    return (
+        f"<div class='column'><h4>{escape(str(column['name']))} "
+        f"<small>({escape(str(column['dtype']))})</small></h4>"
+        f"<p>missing: {column['missing']} "
+        f"({column['missing_fraction']:.1%}), "
+        f"distinct: {column['distinct']}</p>"
+        f"<table>{rows}</table></div>"
+    )
+
+
+def profile(frame: DataFrame, histogram_bins: int = 20) -> ProfileReport:
+    """Profile a frame: the automated data profiling module of Figure 1."""
+    columns = []
+    for name in frame.column_names:
+        summary = column_summary(frame.column(name))
+        summary["histogram"] = histogram(frame.column(name), bins=histogram_bins)
+        columns.append(summary)
+
+    pearson_names, pearson_matrix = correlation_matrix(frame, "pearson")
+    spearman_names, spearman_matrix = correlation_matrix(frame, "spearman")
+    cramers_names, cramers_matrix = categorical_association_matrix(frame)
+    duplicates = frame.duplicate_row_indices()
+
+    overview = {
+        "rows": frame.num_rows,
+        "columns": frame.num_columns,
+        "missing_cells": frame.missing_count(),
+        "missing_fraction": (
+            frame.missing_count() / (frame.num_rows * frame.num_columns)
+            if frame.num_rows and frame.num_columns
+            else 0.0
+        ),
+        "duplicate_rows": len(duplicates),
+        "numeric_columns": len(frame.numeric_column_names()),
+        "categorical_columns": len(frame.categorical_column_names()),
+    }
+    return ProfileReport(
+        overview=overview,
+        columns=columns,
+        correlations={
+            "pearson": {
+                "columns": pearson_names,
+                "matrix": [[float(v) for v in row] for row in pearson_matrix],
+            },
+            "spearman": {
+                "columns": spearman_names,
+                "matrix": [[float(v) for v in row] for row in spearman_matrix],
+            },
+            "cramers_v": {
+                "columns": cramers_names,
+                "matrix": [[float(v) for v in row] for row in cramers_matrix],
+            },
+        },
+        missing={
+            "summary": missing_summary(frame),
+            "patterns": missing_patterns(frame),
+        },
+        alerts=generate_alerts(frame),
+    )

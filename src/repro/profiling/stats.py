@@ -1,0 +1,121 @@
+"""Per-column descriptive statistics for the Data Profile tab."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..dataframe import Column
+
+
+def numeric_summary(column: Column) -> dict[str, Any]:
+    """Descriptive statistics for a numeric column.
+
+    Includes the measures ydata-profiling reports: central tendency,
+    dispersion, quantiles, shape (skew/kurtosis), zeros and negatives.
+    """
+    values = np.array([float(v) for v in column.non_missing()], dtype=float)
+    if len(values) == 0:
+        return {"count": 0}
+    quantiles = np.quantile(values, [0.05, 0.25, 0.5, 0.75, 0.95])
+    mean = float(np.mean(values))
+    std = float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+    return {
+        "count": int(len(values)),
+        "mean": mean,
+        "std": std,
+        "variance": float(std**2),
+        "min": float(np.min(values)),
+        "max": float(np.max(values)),
+        "range": float(np.max(values) - np.min(values)),
+        "q05": float(quantiles[0]),
+        "q25": float(quantiles[1]),
+        "median": float(quantiles[2]),
+        "q75": float(quantiles[3]),
+        "q95": float(quantiles[4]),
+        "iqr": float(quantiles[3] - quantiles[1]),
+        "skewness": _skewness(values),
+        "kurtosis": _kurtosis(values),
+        "sum": float(np.sum(values)),
+        "zeros": int(np.sum(values == 0.0)),
+        "zeros_fraction": float(np.mean(values == 0.0)),
+        "negatives": int(np.sum(values < 0.0)),
+        "coefficient_of_variation": float(std / mean) if mean else float("inf"),
+        "monotonic_increasing": bool(np.all(np.diff(values) >= 0)),
+        "monotonic_decreasing": bool(np.all(np.diff(values) <= 0)),
+    }
+
+
+def _skewness(values: np.ndarray) -> float:
+    if len(values) < 3:
+        return 0.0
+    std = np.std(values)
+    if std == 0.0:
+        return 0.0
+    return float(np.mean(((values - np.mean(values)) / std) ** 3))
+
+
+def _kurtosis(values: np.ndarray) -> float:
+    """Excess kurtosis (normal distribution scores 0)."""
+    if len(values) < 4:
+        return 0.0
+    std = np.std(values)
+    if std == 0.0:
+        return 0.0
+    return float(np.mean(((values - np.mean(values)) / std) ** 4) - 3.0)
+
+
+def categorical_summary(column: Column, top_k: int = 10) -> dict[str, Any]:
+    """Descriptive statistics for a string/bool column."""
+    values = column.non_missing()
+    counts = column.value_counts()
+    if not values:
+        return {"count": 0, "distinct": 0}
+    mode, mode_count = counts.most_common(1)[0]
+    lengths = [len(str(v)) for v in values]
+    return {
+        "count": len(values),
+        "distinct": len(counts),
+        "distinct_fraction": len(counts) / len(values),
+        "mode": mode,
+        "mode_count": mode_count,
+        "mode_fraction": mode_count / len(values),
+        "top_frequencies": [
+            {"value": value, "count": count}
+            for value, count in counts.most_common(top_k)
+        ],
+        "min_length": min(lengths),
+        "max_length": max(lengths),
+        "mean_length": float(np.mean(lengths)),
+        "entropy": _entropy(list(counts.values())),
+    }
+
+
+def _entropy(counts: list[int]) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    proportions = np.array(counts, dtype=float) / total
+    nonzero = proportions[proportions > 0]
+    return float(-np.sum(nonzero * np.log2(nonzero)))
+
+
+def column_summary(column: Column) -> dict[str, Any]:
+    """Full per-column profile section (type, missingness, stats)."""
+    total = len(column)
+    missing = column.missing_count()
+    base = {
+        "name": column.name,
+        "dtype": column.dtype,
+        "rows": total,
+        "missing": missing,
+        "missing_fraction": missing / total if total else 0.0,
+        "distinct": len(column.unique()),
+        "is_numeric": column.is_numeric(),
+    }
+    if column.is_numeric():
+        base["statistics"] = numeric_summary(column)
+    else:
+        base["statistics"] = categorical_summary(column)
+    return base

@@ -1,0 +1,17 @@
+"""Automated error repair tools (§3 of the paper)."""
+
+from .base import RepairResult, Repairer, group_cells_by_column, mask_cells
+from .holoclean_repair import HoloCleanRepairer
+from .ml_imputer import MLImputer
+from .standard import DUMMY_VALUE, StandardImputer
+
+__all__ = [
+    "DUMMY_VALUE",
+    "HoloCleanRepairer",
+    "MLImputer",
+    "RepairResult",
+    "Repairer",
+    "StandardImputer",
+    "group_cells_by_column",
+    "mask_cells",
+]

@@ -1,0 +1,97 @@
+"""Repair interfaces: tools map detected cells to replacement values."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..dataframe import Cell, DataFrame
+
+
+@dataclass
+class RepairResult:
+    """Proposed (and appliable) corrections for a set of detected cells."""
+
+    tool: str
+    repairs: dict[Cell, Any]
+    config: dict[str, Any] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.repairs)
+
+    def apply_to(self, frame: DataFrame) -> DataFrame:
+        """Return a copy of ``frame`` with the repairs written in."""
+        repaired = frame.copy()
+        for (row, column), value in self.repairs.items():
+            if 0 <= row < frame.num_rows and column in frame:
+                repaired.set_at(row, column, value)
+        return repaired
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tool": self.tool,
+            "config": self.config,
+            "num_repairs": len(self.repairs),
+            "runtime_seconds": self.runtime_seconds,
+            "metadata": self.metadata,
+        }
+
+
+class Repairer:
+    """Base class: subclasses implement ``_repair`` and set ``name``."""
+
+    name = "repairer"
+
+    def __init__(self, **config: Any) -> None:
+        self.config: dict[str, Any] = dict(config)
+
+    def repair(self, frame: DataFrame, cells: Iterable[Cell]) -> RepairResult:
+        """Propose replacement values for each detected cell."""
+        wanted = {
+            (row, column)
+            for row, column in cells
+            if 0 <= row < frame.num_rows and column in frame
+        }
+        start = time.perf_counter()
+        repairs, metadata = self._repair(frame, wanted)
+        elapsed = time.perf_counter() - start
+        return RepairResult(
+            tool=self.name,
+            repairs=repairs,
+            config=dict(self.config),
+            runtime_seconds=elapsed,
+            metadata=metadata,
+        )
+
+    def _repair(
+        self, frame: DataFrame, cells: set[Cell]
+    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "config": dict(self.config)}
+
+
+def mask_cells(frame: DataFrame, cells: Iterable[Cell]) -> DataFrame:
+    """Copy of ``frame`` with the given cells blanked to missing.
+
+    Repair tools call this first so that corrupted values never leak into
+    the statistics or models used to compute replacements.
+    """
+    masked = frame.copy()
+    for row, column in cells:
+        if 0 <= row < frame.num_rows and column in frame:
+            masked.set_at(row, column, None)
+    return masked
+
+
+def group_cells_by_column(cells: Iterable[Cell]) -> dict[str, list[int]]:
+    grouped: dict[str, list[int]] = {}
+    for row, column in cells:
+        grouped.setdefault(column, []).append(row)
+    for rows in grouped.values():
+        rows.sort()
+    return grouped

@@ -1,0 +1,101 @@
+"""HoloClean-style probabilistic repair via co-occurrence inference.
+
+Reuses the detector's co-occurrence model: for every detected cell the
+candidate value with the highest smoothed posterior given the row's other
+attributes is chosen. Numeric columns are repaired with the mean of the
+winning quantile bin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..dataframe import Cell, DataFrame
+from ..detection.holoclean import CooccurrenceModel, HoloCleanDetector, _MISSING
+from .base import Repairer, group_cells_by_column, mask_cells
+
+
+class HoloCleanRepairer(Repairer):
+    """Argmax-posterior repair over the co-occurrence model."""
+
+    name = "holoclean_repair"
+
+    def __init__(self, n_bins: int = 12, alpha: float = 1.0) -> None:
+        super().__init__(n_bins=n_bins, alpha=alpha)
+        self.n_bins = n_bins
+        self.alpha = alpha
+
+    def _repair(
+        self, frame: DataFrame, cells: set[Cell]
+    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+        masked = mask_cells(frame, cells)
+        tokenizer = HoloCleanDetector(n_bins=self.n_bins, alpha=self.alpha)
+        tokens = tokenizer.tokenize(masked)
+        model = CooccurrenceModel(alpha=self.alpha).fit(tokens)
+        bin_values = self._bin_representatives(masked, tokens)
+        repairs: dict[Cell, Any] = {}
+        for column_name, rows in group_cells_by_column(cells).items():
+            column = masked.column(column_name)
+            domain = sorted(model.domain(column_name), key=str)
+            for row in rows:
+                if not domain:
+                    repairs[(row, column_name)] = self._fallback(column)
+                    continue
+                row_tokens = {
+                    name: tokens[name][row] for name in frame.column_names
+                }
+                best = max(
+                    domain,
+                    key=lambda candidate: model.log_score(
+                        column_name, candidate, row_tokens
+                    ),
+                )
+                repairs[(row, column_name)] = self._materialize(
+                    column_name, column, best, bin_values
+                )
+        return repairs, {"domain_sizes": {}}
+
+    # ------------------------------------------------------------------
+    def _bin_representatives(
+        self, frame: DataFrame, tokens: dict[str, list[Hashable]]
+    ) -> dict[tuple[str, Hashable], float]:
+        """Mean observed value per (numeric column, bin token)."""
+        representatives: dict[tuple[str, Hashable], list[float]] = {}
+        for name in frame.numeric_column_names():
+            values = frame.column(name).values()
+            for row, token in enumerate(tokens[name]):
+                if token == _MISSING or values[row] is None:
+                    continue
+                representatives.setdefault((name, token), []).append(
+                    float(values[row])
+                )
+        return {
+            key: float(np.mean(group)) for key, group in representatives.items()
+        }
+
+    def _materialize(
+        self,
+        column_name: str,
+        column: Any,
+        token: Hashable,
+        bin_values: dict[tuple[str, Hashable], float],
+    ) -> Any:
+        if not column.is_numeric():
+            return token
+        value = bin_values.get((column_name, token))
+        if value is None:
+            return self._fallback(column)
+        if column.dtype == "int":
+            return int(round(value))
+        return value
+
+    @staticmethod
+    def _fallback(column: Any) -> Any:
+        values = column.non_missing()
+        if not values:
+            return 0.0 if column.is_numeric() else "Dummy"
+        if column.is_numeric():
+            return float(np.mean([float(v) for v in values]))
+        return column.value_counts().most_common(1)[0][0]

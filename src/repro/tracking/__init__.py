@@ -1,0 +1,19 @@
+"""Experiment tracking (MLflow substitute)."""
+
+from .client import (
+    DETECTION_EXPERIMENT,
+    REPAIR_EXPERIMENT,
+    TrackingClient,
+)
+from .store import ACTIVE, FAILED, FINISHED, RunRecord, TrackingStore
+
+__all__ = [
+    "ACTIVE",
+    "DETECTION_EXPERIMENT",
+    "FAILED",
+    "FINISHED",
+    "REPAIR_EXPERIMENT",
+    "RunRecord",
+    "TrackingClient",
+    "TrackingStore",
+]

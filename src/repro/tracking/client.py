@@ -1,0 +1,89 @@
+"""High-level tracking client with MLflow-style ergonomics."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .store import ACTIVE, FAILED, FINISHED, RunRecord, TrackingStore
+
+#: Experiment groups DataLens uses out of the box (§5).
+DETECTION_EXPERIMENT = "Detection"
+REPAIR_EXPERIMENT = "Repair"
+
+
+class TrackingClient:
+    """Log params/metrics/artifacts into a :class:`TrackingStore`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.store = TrackingStore(root)
+        self._active: RunRecord | None = None
+
+    # ------------------------------------------------------------------
+    def set_experiment(self, name: str) -> str:
+        return self.store.create_experiment(name)
+
+    @contextmanager
+    def start_run(self, experiment: str, name: str) -> Iterator[RunRecord]:
+        """Context manager around one run; marks failure on exception."""
+        experiment_id = self.store.create_experiment(experiment)
+        run = self.store.create_run(experiment_id, name)
+        previous = self._active
+        self._active = run
+        try:
+            yield run
+        except Exception:
+            run.status = FAILED
+            raise
+        else:
+            run.status = FINISHED
+        finally:
+            run.end_time = time.time()
+            self.store.save_run(run)
+            self._active = previous
+
+    def _require_active(self) -> RunRecord:
+        if self._active is None or self._active.status != ACTIVE:
+            raise RuntimeError("no active run; use start_run()")
+        return self._active
+
+    # ------------------------------------------------------------------
+    def log_param(self, key: str, value: Any) -> None:
+        run = self._require_active()
+        run.params[key] = value
+
+    def log_params(self, params: dict[str, Any]) -> None:
+        run = self._require_active()
+        run.params.update(params)
+
+    def log_metric(self, key: str, value: float, step: int | None = None) -> None:
+        run = self._require_active()
+        history = run.metrics.setdefault(key, [])
+        next_step = step if step is not None else len(history)
+        history.append((int(next_step), float(value)))
+
+    def set_tag(self, key: str, value: str) -> None:
+        run = self._require_active()
+        run.tags[key] = str(value)
+
+    def log_text_artifact(self, file_name: str, content: str) -> Path:
+        run = self._require_active()
+        return self.store.log_artifact_text(run, file_name, content)
+
+    def log_file_artifact(self, source: str | Path) -> Path:
+        run = self._require_active()
+        return self.store.log_artifact_file(run, source)
+
+    # ------------------------------------------------------------------
+    def search_runs(
+        self, experiment: str, status: str | None = None
+    ) -> list[RunRecord]:
+        experiment_id = self.store.experiment_id_by_name(experiment)
+        if experiment_id is None:
+            return []
+        runs = self.store.list_runs(experiment_id)
+        if status is not None:
+            runs = [run for run in runs if run.status == status]
+        return runs

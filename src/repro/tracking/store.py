@@ -1,0 +1,181 @@
+"""File-backed experiment tracking (MLflow substitute).
+
+Runs are grouped into named experiments — DataLens uses "Detection" and
+"Repair" (§5) — and each run stores params, (stepped) metrics, tags, and
+artifacts under a directory tree:
+
+    <root>/<experiment_id>/meta.json
+    <root>/<experiment_id>/<run_id>/meta.json
+    <root>/<experiment_id>/<run_id>/params.json
+    <root>/<experiment_id>/<run_id>/metrics.json
+    <root>/<experiment_id>/<run_id>/artifacts/...
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+ACTIVE = "active"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+@dataclass
+class RunRecord:
+    """In-memory view of one tracked run."""
+
+    run_id: str
+    experiment_id: str
+    name: str
+    status: str = ACTIVE
+    start_time: float = field(default_factory=time.time)
+    end_time: float | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def latest_metrics(self) -> dict[str, float]:
+        return {
+            key: history[-1][1] for key, history in self.metrics.items() if history
+        }
+
+
+class TrackingStore:
+    """Persistence layer for experiments and runs."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Experiments
+    # ------------------------------------------------------------------
+    def create_experiment(self, name: str) -> str:
+        existing = self.experiment_id_by_name(name)
+        if existing is not None:
+            return existing
+        experiment_id = f"exp_{len(self.list_experiments()):04d}"
+        path = self.root / experiment_id
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "meta.json").write_text(
+            json.dumps({"experiment_id": experiment_id, "name": name}),
+            encoding="utf-8",
+        )
+        return experiment_id
+
+    def experiment_id_by_name(self, name: str) -> str | None:
+        for experiment in self.list_experiments():
+            if experiment["name"] == name:
+                return experiment["experiment_id"]
+        return None
+
+    def list_experiments(self) -> list[dict[str, Any]]:
+        experiments = []
+        for meta_path in sorted(self.root.glob("exp_*/meta.json")):
+            experiments.append(json.loads(meta_path.read_text(encoding="utf-8")))
+        return experiments
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def create_run(self, experiment_id: str, name: str) -> RunRecord:
+        if not (self.root / experiment_id / "meta.json").exists():
+            raise KeyError(f"unknown experiment {experiment_id!r}")
+        run = RunRecord(
+            run_id=uuid.uuid4().hex[:12],
+            experiment_id=experiment_id,
+            name=name,
+        )
+        self.save_run(run)
+        return run
+
+    def run_dir(self, run: RunRecord) -> Path:
+        return self.root / run.experiment_id / run.run_id
+
+    def save_run(self, run: RunRecord) -> None:
+        path = self.run_dir(run)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "meta.json").write_text(
+            json.dumps(
+                {
+                    "run_id": run.run_id,
+                    "experiment_id": run.experiment_id,
+                    "name": run.name,
+                    "status": run.status,
+                    "start_time": run.start_time,
+                    "end_time": run.end_time,
+                    "tags": run.tags,
+                }
+            ),
+            encoding="utf-8",
+        )
+        (path / "params.json").write_text(
+            json.dumps(run.params, default=str), encoding="utf-8"
+        )
+        (path / "metrics.json").write_text(
+            json.dumps(run.metrics), encoding="utf-8"
+        )
+
+    def load_run(self, experiment_id: str, run_id: str) -> RunRecord:
+        path = self.root / experiment_id / run_id
+        if not path.exists():
+            raise KeyError(f"unknown run {run_id!r}")
+        meta = json.loads((path / "meta.json").read_text(encoding="utf-8"))
+        params = json.loads((path / "params.json").read_text(encoding="utf-8"))
+        metrics_raw = json.loads((path / "metrics.json").read_text(encoding="utf-8"))
+        run = RunRecord(
+            run_id=meta["run_id"],
+            experiment_id=meta["experiment_id"],
+            name=meta["name"],
+            status=meta["status"],
+            start_time=meta["start_time"],
+            end_time=meta["end_time"],
+            params=params,
+            metrics={
+                key: [(int(step), float(value)) for step, value in history]
+                for key, history in metrics_raw.items()
+            },
+            tags=dict(meta.get("tags", {})),
+        )
+        return run
+
+    def list_runs(self, experiment_id: str) -> list[RunRecord]:
+        base = self.root / experiment_id
+        runs = []
+        if not base.exists():
+            return runs
+        for run_dir in sorted(base.iterdir()):
+            if run_dir.is_dir() and (run_dir / "meta.json").exists():
+                runs.append(self.load_run(experiment_id, run_dir.name))
+        return runs
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def log_artifact_text(
+        self, run: RunRecord, file_name: str, content: str
+    ) -> Path:
+        artifact_dir = self.run_dir(run) / "artifacts"
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        path = artifact_dir / file_name
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def log_artifact_file(self, run: RunRecord, source: str | Path) -> Path:
+        artifact_dir = self.run_dir(run) / "artifacts"
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        destination = artifact_dir / Path(source).name
+        shutil.copyfile(source, destination)
+        return destination
+
+    def list_artifacts(self, run: RunRecord) -> list[str]:
+        artifact_dir = self.run_dir(run) / "artifacts"
+        if not artifact_dir.exists():
+            return []
+        return sorted(p.name for p in artifact_dir.iterdir() if p.is_file())

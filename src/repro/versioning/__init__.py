@@ -1,0 +1,5 @@
+"""Dataset version control (Delta Lake substitute)."""
+
+from .table import Commit, DeltaTable, VersionNotFoundError
+
+__all__ = ["Commit", "DeltaTable", "VersionNotFoundError"]

@@ -1,0 +1,46 @@
+"""Tests for the dashboard-HTML and drift REST endpoints."""
+
+import pytest
+
+from repro.api import TestClient, create_app
+from repro.core import DataLens
+
+
+@pytest.fixture
+def client(tmp_path, nasa_dirty):
+    lens = DataLens(tmp_path / "workspace", seed=0)
+    lens.ingest_frame("nasa", nasa_dirty.dirty)
+    return TestClient(create_app(lens))
+
+
+class TestDashboardEndpoint:
+    def test_html_payload(self, client):
+        response = client.get("/datasets/nasa/dashboard")
+        assert response.status == 200
+        html = response.body["html"]
+        assert html.startswith("<!DOCTYPE html>")
+        for tab in ("Data Overview", "Data Profile", "DataSheets"):
+            assert tab in html
+
+    def test_unknown_dataset(self, client):
+        assert client.get("/datasets/ghost/dashboard").status == 404
+
+
+class TestDriftEndpoint:
+    def test_no_drift_against_self(self, client):
+        response = client.get("/datasets/nasa/drift")
+        assert response.status == 200
+        assert response.body["num_findings"] == 0
+
+    def test_drift_after_repair(self, client):
+        client.post("/datasets/nasa/detect", {"tools": ["union_broad"]})
+        client.post("/datasets/nasa/repair", {"tool": "standard_imputer"})
+        response = client.get(
+            "/datasets/nasa/drift", query={"baseline": "0", "current": "1"}
+        )
+        assert response.status == 200
+        # Repair rewrites outliers/sentinels -> distribution shifts appear
+        # (missingness shift stays below the 5% threshold on NASA's ~3%).
+        assert response.body["num_findings"] > 0
+        kinds = {finding["kind"] for finding in response.body["findings"]}
+        assert kinds & {"distribution_shift", "missingness_shift"}

@@ -1,0 +1,106 @@
+"""Router/framework tests for the REST layer."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api import HTTPError, Request, Response, Router, TestClient, serve
+
+
+@pytest.fixture
+def router():
+    router = Router()
+
+    @router.get("/items")
+    def list_items(request):
+        return {"items": [1, 2, 3]}
+
+    @router.get("/items/{item_id}")
+    def get_item(request):
+        return {"id": request.path_params["item_id"]}
+
+    @router.post("/items")
+    def create_item(request):
+        if not request.body or "name" not in request.body:
+            raise HTTPError(422, "name required")
+        return Response(201, {"created": request.body["name"]})
+
+    @router.get("/boom")
+    def boom(request):
+        raise ValueError("bad input")
+
+    @router.get("/missing")
+    def missing(request):
+        raise KeyError("nothing here")
+
+    return router
+
+
+class TestRouter:
+    def test_simple_get(self, router):
+        response = TestClient(router).get("/items")
+        assert response.status == 200
+        assert response.body == {"items": [1, 2, 3]}
+
+    def test_path_params(self, router):
+        response = TestClient(router).get("/items/42")
+        assert response.body == {"id": "42"}
+
+    def test_unknown_path_404(self, router):
+        assert TestClient(router).get("/nope").status == 404
+
+    def test_wrong_method_405(self, router):
+        assert TestClient(router).put("/items").status == 405
+
+    def test_custom_status(self, router):
+        response = TestClient(router).post("/items", {"name": "x"})
+        assert response.status == 201
+        assert response.body == {"created": "x"}
+
+    def test_http_error_maps_status(self, router):
+        response = TestClient(router).post("/items", {})
+        assert response.status == 422
+
+    def test_value_error_is_400(self, router):
+        assert TestClient(router).get("/boom").status == 400
+
+    def test_key_error_is_404(self, router):
+        assert TestClient(router).get("/missing").status == 404
+
+    def test_trailing_slash_tolerated(self, router):
+        assert TestClient(router).get("/items/").status == 200
+
+    def test_routes_listing(self, router):
+        routes = router.routes()
+        assert ("GET", "/items") in routes
+        assert ("POST", "/items") in routes
+
+
+class TestRealServer:
+    def test_socket_roundtrip(self, router):
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/items", timeout=5
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload == {"items": [1, 2, 3]}
+        finally:
+            server.shutdown()
+
+    def test_socket_post(self, router):
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/items",
+                data=json.dumps({"name": "thing"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.status == 201
+        finally:
+            server.shutdown()

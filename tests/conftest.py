@@ -1,0 +1,49 @@
+"""Shared fixtures: canonical frames and corrupted datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.ingestion import make_dirty
+
+
+@pytest.fixture
+def mixed_frame() -> DataFrame:
+    """Small frame with numeric/string columns and missing cells."""
+    return DataFrame.from_dict(
+        {
+            "id": [1, 2, 3, 4, 5, 6],
+            "score": [1.5, 2.5, None, 4.0, 5.5, 100.0],
+            "city": ["a", "b", "a", None, "b", "a"],
+            "flag": [True, False, True, True, False, None],
+        }
+    )
+
+
+@pytest.fixture
+def fd_frame() -> DataFrame:
+    """Frame where A -> B holds exactly and C is independent."""
+    return DataFrame.from_dict(
+        {
+            "A": [1, 2, 3, 1, 2, 3, 1],
+            "B": ["x", "y", "z", "x", "y", "z", "x"],
+            "C": [10, 10, 20, 20, 10, 20, 10],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def nasa_dirty():
+    """Default-profile dirty NASA dataset (cached for the session)."""
+    return make_dirty("nasa", seed=1)
+
+
+@pytest.fixture(scope="session")
+def hospital_dirty():
+    return make_dirty("hospital", seed=2)
+
+
+@pytest.fixture(scope="session")
+def beers_dirty():
+    return make_dirty("beers", seed=3)

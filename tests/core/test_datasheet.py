@@ -1,0 +1,111 @@
+"""DataSheet generation, persistence, and replay tests (§5)."""
+
+import json
+
+from repro.core import DataSheet
+from repro.detection import DetectionContext, merge_results
+from repro.core import make_detector, make_repairer
+
+
+def build_sheet(**overrides):
+    base = dict(
+        dataset_name="nasa",
+        num_rows=100,
+        num_columns=6,
+        detection_tools=[
+            {"name": "iqr", "config": {"factor": 1.5, "columns": None}},
+            {"name": "mv_detector", "config": {"extra_null_tokens": []}},
+        ],
+        num_erroneous_cells=42,
+        repair_tools=[
+            {"name": "standard_imputer", "config": {"numeric_strategy": "mean"}}
+        ],
+        rules=[{"determinants": ["a"], "dependent": "b"}],
+        tagged_values=["-1", "99999"],
+        quality_before={"completeness": 0.9},
+        quality_after={"completeness": 1.0},
+        version_before_detection=0,
+        version_after_repair=1,
+        hyperparameters={"detector": "iqr"},
+    )
+    base.update(overrides)
+    return DataSheet(**base)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        sheet = build_sheet()
+        again = DataSheet.from_dict(sheet.to_dict())
+        assert again.to_dict() == sheet.to_dict()
+
+    def test_json_is_valid(self):
+        payload = json.loads(build_sheet().to_json())
+        assert payload["dataset"]["name"] == "nasa"
+        assert payload["detection"]["num_erroneous_cells"] == 42
+        assert payload["versions"] == {
+            "before_detection": 0,
+            "after_repair": 1,
+        }
+
+    def test_save_and_load(self, tmp_path):
+        sheet = build_sheet()
+        path = sheet.save(tmp_path / "nested" / "sheet.json")
+        loaded = DataSheet.load(path)
+        assert loaded.dataset_name == "nasa"
+        assert loaded.detection_tools == sheet.detection_tools
+        assert loaded.tagged_values == ["-1", "99999"]
+
+    def test_required_sections_present(self):
+        payload = build_sheet().to_dict()
+        # §5: name, paths, shape, detection tools, #erroneous cells,
+        # repair tools + configs, version tags.
+        assert {"dataset", "detection", "repair", "rules", "quality",
+                "versions", "hyperparameters"} <= set(payload)
+
+
+class TestReplay:
+    def test_replay_reproduces_pipeline(self, nasa_dirty):
+        """Replaying a sheet equals running the tools by hand."""
+        sheet = build_sheet()
+        replayed = sheet.replay(nasa_dirty.dirty)
+
+        context = DetectionContext()
+        results = [
+            make_detector("iqr", factor=1.5, columns=None).detect(
+                nasa_dirty.dirty, context
+            ),
+            make_detector("mv_detector", extra_null_tokens=[]).detect(
+                nasa_dirty.dirty, context
+            ),
+        ]
+        cells = merge_results(results)
+        expected = make_repairer(
+            "standard_imputer", numeric_strategy="mean"
+        ).repair(nasa_dirty.dirty, cells).apply_to(nasa_dirty.dirty)
+        assert replayed == expected
+
+    def test_replay_deterministic(self, nasa_dirty):
+        sheet = build_sheet()
+        assert sheet.replay(nasa_dirty.dirty) == sheet.replay(nasa_dirty.dirty)
+
+    def test_replay_after_save_load(self, tmp_path, nasa_dirty):
+        sheet = build_sheet()
+        path = sheet.save(tmp_path / "sheet.json")
+        loaded = DataSheet.load(path)
+        assert loaded.replay(nasa_dirty.dirty) == sheet.replay(nasa_dirty.dirty)
+
+    def test_replay_restores_rules(self, hospital_dirty):
+        sheet = DataSheet(
+            dataset_name="hospital",
+            detection_tools=[{"name": "nadeef", "config": {"auto_discover": False}}],
+            repair_tools=[{"name": "standard_imputer", "config": {}}],
+            rules=[{"determinants": ["ZipCode"], "dependent": "City"}],
+        )
+        replayed = sheet.replay(hospital_dirty.dirty)
+        # The recorded FD must have driven detection: some city repaired.
+        changed = sum(
+            1
+            for row in range(hospital_dirty.dirty.num_rows)
+            if replayed.at(row, "City") != hospital_dirty.dirty.at(row, "City")
+        )
+        assert changed > 0

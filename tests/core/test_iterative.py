@@ -1,0 +1,143 @@
+"""Iterative cleaning (§4) tests — scoped small for test runtime."""
+
+import pytest
+
+from repro.core import DownstreamScorer, IterativeCleaner
+from repro.ingestion import make_dirty
+
+FAST_DETECTORS = ["iqr", "mv_detector", "union_statistical"]
+FAST_REPAIRERS = ["standard_imputer", "ml_imputer"]
+
+
+@pytest.fixture(scope="module")
+def nasa_small():
+    return make_dirty("nasa", seed=6)
+
+
+class TestDownstreamScorer:
+    def test_regression_direction(self):
+        scorer = DownstreamScorer("regression", "y")
+        assert scorer.direction == "minimize"
+        assert scorer.worst_score() == float("inf")
+
+    def test_classification_direction(self):
+        scorer = DownstreamScorer("classification", "y")
+        assert scorer.direction == "maximize"
+        assert scorer.worst_score() == 0.0
+
+    def test_invalid_task(self):
+        with pytest.raises(ValueError):
+            DownstreamScorer("ranking", "y")
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            DownstreamScorer("regression", "y", model="transformer")
+
+    def test_clean_scores_better_than_dirty(self, nasa_small):
+        scorer = DownstreamScorer(
+            "regression",
+            "Sound Pressure",
+            reference=nasa_small.clean,
+            seed=0,
+        )
+        clean_mse = scorer.score(nasa_small.clean)
+        dirty_mse = scorer.score(nasa_small.dirty)
+        assert clean_mse < dirty_mse
+
+    def test_split_fixed_across_calls(self, nasa_small):
+        scorer = DownstreamScorer("regression", "Sound Pressure", seed=3)
+        assert scorer.split_for(nasa_small.dirty) == scorer.split_for(
+            nasa_small.dirty
+        )
+
+
+class TestIterativeCleaner:
+    def test_repaired_beats_dirty(self, nasa_small):
+        cleaner = IterativeCleaner(
+            task="regression",
+            target="Sound Pressure",
+            detector_choices=FAST_DETECTORS,
+            repairer_choices=FAST_REPAIRERS,
+            seed=0,
+        )
+        result = cleaner.clean(
+            nasa_small.dirty, n_iterations=6, reference=nasa_small.clean
+        )
+        assert result.best_score < result.baseline_dirty
+        assert result.n_iterations == 6
+        assert result.baseline_clean is not None
+
+    def test_history_monotone_non_worsening(self, nasa_small):
+        cleaner = IterativeCleaner(
+            task="regression",
+            target="Sound Pressure",
+            detector_choices=FAST_DETECTORS,
+            repairer_choices=FAST_REPAIRERS,
+            sampler="random",
+            seed=1,
+        )
+        result = cleaner.clean(nasa_small.dirty, n_iterations=5)
+        history = result.best_score_history
+        assert all(b <= a + 1e-9 for a, b in zip(history, history[1:]))
+
+    def test_best_params_reference_known_tools(self, nasa_small):
+        cleaner = IterativeCleaner(
+            task="regression",
+            target="Sound Pressure",
+            detector_choices=FAST_DETECTORS,
+            repairer_choices=FAST_REPAIRERS,
+            seed=2,
+        )
+        result = cleaner.clean(nasa_small.dirty, n_iterations=4)
+        assert result.best_params["detector"] in FAST_DETECTORS
+        assert result.best_params["repairer"] in FAST_REPAIRERS
+
+    def test_early_stop_on_threshold(self, nasa_small):
+        cleaner = IterativeCleaner(
+            task="regression",
+            target="Sound Pressure",
+            detector_choices=FAST_DETECTORS,
+            repairer_choices=FAST_REPAIRERS,
+            seed=0,
+        )
+        result = cleaner.clean(
+            nasa_small.dirty,
+            n_iterations=10,
+            reference=nasa_small.clean,
+            score_threshold=1e9,  # trivially reached after one trial
+        )
+        assert result.n_iterations == 1
+
+    def test_classification_task(self, beers_dirty):
+        cleaner = IterativeCleaner(
+            task="classification",
+            target="style",
+            detector_choices=["mv_detector", "union_statistical"],
+            repairer_choices=["standard_imputer"],
+            seed=0,
+        )
+        result = cleaner.clean(
+            beers_dirty.dirty, n_iterations=3, reference=beers_dirty.clean
+        )
+        assert 0.0 < result.best_score <= 1.0
+        assert result.best_score >= result.baseline_dirty - 0.05
+
+    def test_unknown_sampler(self):
+        cleaner = IterativeCleaner(
+            task="regression", target="y", sampler="annealing"
+        )
+        with pytest.raises(ValueError):
+            cleaner.clean(None, n_iterations=1)
+
+    def test_trial_outcomes_recorded(self, nasa_small):
+        cleaner = IterativeCleaner(
+            task="regression",
+            target="Sound Pressure",
+            detector_choices=["iqr"],
+            repairer_choices=["standard_imputer"],
+            seed=0,
+        )
+        result = cleaner.clean(nasa_small.dirty, n_iterations=3)
+        assert len(result.trials) == 3
+        assert all(t.runtime_seconds > 0 for t in result.trials)
+        assert result.search_runtime_seconds > 0

@@ -1,0 +1,66 @@
+"""Labeling session tests — the user-in-the-loop workflow."""
+
+import pytest
+
+from repro.core import LabelingSession, SimulatedUser
+from repro.ingestion import make_dirty
+
+PROFILE = dict(
+    missing_rate=0.0075,
+    outlier_rate=0.0075,
+    disguised_rate=0.0075,
+    subtle_rate=0.06,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return make_dirty("nasa", seed=4, overrides=PROFILE)
+
+
+class TestLabelingSession:
+    def test_outcome_bookkeeping(self, bundle):
+        session = LabelingSession(budget=8, clusters_per_column=6, seed=0)
+        outcome = session.run(bundle.dirty, SimulatedUser(bundle.mask))
+        assert outcome.budget == 8
+        assert outcome.labeled_tuples <= 8
+        assert outcome.reviewed_tuples >= outcome.labeled_tuples
+        assert outcome.review_overhead >= 1.0
+        assert len(outcome.labels) > 0
+
+    def test_detection_attached(self, bundle):
+        session = LabelingSession(budget=8, clusters_per_column=6, seed=0)
+        outcome = session.run(bundle.dirty, SimulatedUser(bundle.mask))
+        assert outcome.detection.tool == "raha"
+        assert len(outcome.detection.cells) > 0
+
+    def test_initial_labels_seed_session(self, bundle):
+        initial = {(0, "Angle"): True}
+        session = LabelingSession(
+            budget=5, clusters_per_column=6, seed=0, initial_labels=initial
+        )
+        outcome = session.run(bundle.dirty, SimulatedUser(bundle.mask))
+        assert outcome.labels[(0, "Angle")] is True
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            LabelingSession(budget=0)
+
+    def test_noisy_user_degrades_f1(self, bundle):
+        from repro.ml import detection_scores
+
+        clean_session = LabelingSession(budget=10, clusters_per_column=6, seed=1)
+        noisy_session = LabelingSession(budget=10, clusters_per_column=6, seed=1)
+        clean_outcome = clean_session.run(
+            bundle.dirty, SimulatedUser(bundle.mask, noise=0.0, seed=1)
+        )
+        noisy_outcome = noisy_session.run(
+            bundle.dirty, SimulatedUser(bundle.mask, noise=0.4, seed=1)
+        )
+        clean_f1 = detection_scores(clean_outcome.detection.cells, bundle.mask)["f1"]
+        noisy_f1 = detection_scores(noisy_outcome.detection.cells, bundle.mask)["f1"]
+        assert noisy_f1 <= clean_f1 + 0.05
+
+    def test_simulated_user_noise_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedUser(set(), noise=1.0)

@@ -1,0 +1,92 @@
+"""Relational operation tests: sort, group-by, join."""
+
+from repro.dataframe import (
+    DataFrame,
+    group_by,
+    group_indices,
+    inner_join,
+    sort_by,
+    value_counts_frame,
+)
+
+
+class TestSort:
+    def test_sort_numeric(self):
+        frame = DataFrame.from_dict({"x": [3, 1, 2]})
+        assert sort_by(frame, ["x"]).column("x").values() == [1, 2, 3]
+
+    def test_sort_descending(self):
+        frame = DataFrame.from_dict({"x": [3, 1, 2]})
+        assert sort_by(frame, ["x"], descending=True).column("x").values() == [3, 2, 1]
+
+    def test_missing_sorts_last(self):
+        frame = DataFrame.from_dict({"x": [None, 1, 2]})
+        assert sort_by(frame, ["x"]).column("x").values() == [1, 2, None]
+
+    def test_multi_key_stable(self):
+        frame = DataFrame.from_dict({"a": [1, 1, 0], "b": ["z", "a", "m"]})
+        ordered = sort_by(frame, ["a", "b"])
+        assert ordered.column("b").values() == ["m", "a", "z"]
+
+
+class TestGroupBy:
+    def test_group_indices(self):
+        frame = DataFrame.from_dict({"k": ["a", "b", "a"]})
+        groups = group_indices(frame, ["k"])
+        assert groups[("a",)] == [0, 2]
+        assert groups[("b",)] == [1]
+
+    def test_group_by_aggregation(self):
+        frame = DataFrame.from_dict({"k": ["a", "b", "a"], "v": [1, 2, 3]})
+        result = group_by(frame, ["k"], {"total": ("v", sum)})
+        as_map = {
+            result.at(i, "k"): result.at(i, "total")
+            for i in range(result.num_rows)
+        }
+        assert as_map == {"a": 4, "b": 2}
+
+    def test_group_by_skips_missing_values_in_agg(self):
+        frame = DataFrame.from_dict({"k": ["a", "a"], "v": [None, 3]})
+        result = group_by(frame, ["k"], {"total": ("v", sum)})
+        assert result.at(0, "total") == 3
+
+    def test_missing_key_grouped_together(self):
+        frame = DataFrame.from_dict({"k": [None, None, "a"], "v": [1, 2, 3]})
+        result = group_by(frame, ["k"], {"n": ("v", len)})
+        counts = {
+            result.at(i, "k"): result.at(i, "n") for i in range(result.num_rows)
+        }
+        assert counts[None] == 2
+
+
+class TestJoin:
+    def test_inner_join_basic(self):
+        left = DataFrame.from_dict({"k": [1, 2, 3], "l": ["a", "b", "c"]})
+        right = DataFrame.from_dict({"k": [2, 3, 4], "r": ["x", "y", "z"]})
+        joined = inner_join(left, right, on=["k"])
+        assert joined.num_rows == 2
+        assert joined.column("r").values() == ["x", "y"]
+
+    def test_join_suffixes_overlapping(self):
+        left = DataFrame.from_dict({"k": [1], "v": ["l"]})
+        right = DataFrame.from_dict({"k": [1], "v": ["r"]})
+        joined = inner_join(left, right, on=["k"])
+        assert joined.column("v_right").values() == ["r"]
+
+    def test_join_multiplies_matches(self):
+        left = DataFrame.from_dict({"k": [1, 1]})
+        right = DataFrame.from_dict({"k": [1, 1], "r": ["x", "y"]})
+        assert inner_join(left, right, on=["k"]).num_rows == 4
+
+    def test_missing_keys_never_match(self):
+        left = DataFrame.from_dict({"k": [None, 1]})
+        right = DataFrame.from_dict({"k": [None, 1], "r": ["x", "y"]})
+        joined = inner_join(left, right, on=["k"])
+        assert joined.num_rows == 1
+
+
+def test_value_counts_frame():
+    frame = DataFrame.from_dict({"c": ["a", "b", "a", "a"]})
+    counts = value_counts_frame(frame, "c")
+    assert counts.at(0, "c") == "a"
+    assert counts.at(0, "count") == 3

@@ -1,0 +1,111 @@
+"""Tests for dtype inference, parsing, and coercion."""
+
+import math
+
+import pytest
+
+from repro.dataframe import types as t
+
+
+class TestInferDtype:
+    def test_all_ints(self):
+        assert t.infer_dtype([1, 2, 3]) == t.INT
+
+    def test_floats_widen_ints(self):
+        assert t.infer_dtype([1, 2.5]) == t.FLOAT
+
+    def test_bools(self):
+        assert t.infer_dtype([True, False]) == t.BOOL
+
+    def test_bool_with_int_widens_to_int(self):
+        assert t.infer_dtype([True, 2]) == t.INT
+
+    def test_strings_dominate(self):
+        assert t.infer_dtype([1, "x"]) == t.STRING
+
+    def test_missing_only_is_string(self):
+        assert t.infer_dtype([None, None]) == t.STRING
+
+    def test_missing_skipped(self):
+        assert t.infer_dtype([None, 3, None]) == t.INT
+
+    def test_nan_treated_as_missing(self):
+        assert t.infer_dtype([float("nan"), 3]) == t.INT
+
+
+class TestParseToken:
+    def test_int(self):
+        assert t.parse_token("42") == 42
+        assert isinstance(t.parse_token("42"), int)
+
+    def test_float(self):
+        assert t.parse_token("3.25") == 3.25
+
+    def test_scientific(self):
+        assert t.parse_token("1e3") == 1000.0
+
+    def test_bool_words(self):
+        assert t.parse_token("true") is True
+        assert t.parse_token("False") is False
+
+    def test_null_tokens(self):
+        for token in ("", "NA", "n/a", "NULL", "?", "none"):
+            assert t.parse_token(token) is None
+
+    def test_plain_string(self):
+        assert t.parse_token("hello world") == "hello world"
+
+    def test_whitespace_stripped(self):
+        assert t.parse_token("  7 ") == 7
+
+
+class TestCoerce:
+    def test_missing_passthrough(self):
+        assert t.coerce(None, t.INT) is None
+        assert t.coerce(float("nan"), t.FLOAT) is None
+
+    def test_int_to_float(self):
+        assert t.coerce(3, t.FLOAT) == 3.0
+
+    def test_whole_float_to_int(self):
+        assert t.coerce(4.0, t.INT) == 4
+
+    def test_fractional_float_to_int_raises(self):
+        with pytest.raises(ValueError):
+            t.coerce(4.5, t.INT)
+
+    def test_to_string_formats_bool(self):
+        assert t.coerce(True, t.STRING) == "true"
+
+    def test_to_bool(self):
+        assert t.coerce("yes", t.BOOL) is True
+        assert t.coerce(0, t.BOOL) is False
+
+    def test_bad_bool_raises(self):
+        with pytest.raises(ValueError):
+            t.coerce("maybe", t.BOOL)
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ValueError):
+            t.coerce(1, "date")
+
+
+class TestCommonDtype:
+    def test_same(self):
+        assert t.common_dtype(t.INT, t.INT) == t.INT
+
+    def test_int_float(self):
+        assert t.common_dtype(t.INT, t.FLOAT) == t.FLOAT
+
+    def test_bool_int(self):
+        assert t.common_dtype(t.BOOL, t.INT) == t.INT
+
+    def test_string_wins(self):
+        assert t.common_dtype(t.FLOAT, t.STRING) == t.STRING
+
+
+def test_is_missing():
+    assert t.is_missing(None)
+    assert t.is_missing(math.nan)
+    assert not t.is_missing(0)
+    assert not t.is_missing("")

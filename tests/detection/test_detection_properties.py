@@ -1,0 +1,109 @@
+"""Property-based tests for detector invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame
+from repro.detection import (
+    DetectionContext,
+    FAHESDetector,
+    IQRDetector,
+    MVDetector,
+    MinKEnsemble,
+    SDDetector,
+)
+
+
+@st.composite
+def numeric_frames(draw) -> DataFrame:
+    n_rows = draw(st.integers(min_value=5, max_value=40))
+    n_cols = draw(st.integers(min_value=1, max_value=3))
+    data = {}
+    for i in range(n_cols):
+        values = draw(
+            st.lists(
+                st.one_of(
+                    st.none(),
+                    st.floats(
+                        min_value=-1e4,
+                        max_value=1e4,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                ),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+        data[f"c{i}"] = values
+    return DataFrame.from_dict(data)
+
+
+DETECTOR_FACTORIES = (
+    lambda: SDDetector(k=2.5),
+    lambda: IQRDetector(factor=1.5),
+    lambda: MVDetector(),
+    lambda: FAHESDetector(),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(numeric_frames(), st.integers(min_value=0, max_value=3))
+def test_detected_cells_always_in_bounds(frame, which):
+    detector = DETECTOR_FACTORIES[which]()
+    result = detector.detect(frame, DetectionContext())
+    for row, column in result.cells:
+        assert 0 <= row < frame.num_rows
+        assert column in frame
+
+
+@settings(max_examples=30, deadline=None)
+@given(numeric_frames(), st.integers(min_value=0, max_value=3))
+def test_detection_is_deterministic(frame, which):
+    first = DETECTOR_FACTORIES[which]().detect(frame, DetectionContext())
+    second = DETECTOR_FACTORIES[which]().detect(frame, DetectionContext())
+    assert first.cells == second.cells
+
+
+@settings(max_examples=25, deadline=None)
+@given(numeric_frames())
+def test_min_k_cells_shrink_with_k(frame):
+    """Raising the vote threshold can only remove cells."""
+    cells_by_k = []
+    for k in (1, 2, 3):
+        members = [factory() for factory in DETECTOR_FACTORIES[:3]]
+        ensemble = MinKEnsemble(members, k=k)
+        cells_by_k.append(ensemble.detect(frame, DetectionContext()).cells)
+    assert cells_by_k[1] <= cells_by_k[0]
+    assert cells_by_k[2] <= cells_by_k[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(numeric_frames())
+def test_mv_detector_matches_missing_cells_exactly(frame):
+    result = MVDetector().detect(frame, DetectionContext())
+    assert result.cells == frame.missing_cells()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=20,
+        max_size=60,
+    ),
+    st.floats(min_value=15.0, max_value=1000.0),
+)
+def test_sd_flags_an_injected_extreme_value(values, magnitude):
+    """Planting a value far beyond the sample range must be flagged.
+
+    Needs n >= 20: a single outlier among n points can reach a z-score of
+    at most sqrt(n-1) (the SD masking effect), so tiny samples cannot
+    mathematically cross the k=3 threshold no matter how extreme the value.
+    """
+    array = np.array(values)
+    extreme = float(array.mean() + (array.std() + 1.0) * magnitude)
+    frame = DataFrame.from_dict({"x": values + [extreme]})
+    result = SDDetector(k=3.0).detect(frame, DetectionContext())
+    assert (len(values), "x") in result.cells

@@ -1,0 +1,72 @@
+"""HoloClean probabilistic detector tests."""
+
+from repro.dataframe import DataFrame
+from repro.detection import (
+    CooccurrenceModel,
+    DetectionContext,
+    HoloCleanDetector,
+)
+from repro.ml import detection_scores
+
+
+class TestCooccurrenceModel:
+    def test_domain_collection(self):
+        tokens = {"a": ["x", "y", "__missing__"], "b": ["1", "1", "2"]}
+        model = CooccurrenceModel().fit(tokens)
+        assert model.domain("a") == {"x", "y"}
+        assert model.domain("b") == {"1", "2"}
+
+    def test_cooccurring_value_scores_higher(self):
+        tokens = {
+            "city": ["rome", "rome", "rome", "paris", "paris"],
+            "country": ["it", "it", "it", "fr", "fr"],
+        }
+        model = CooccurrenceModel().fit(tokens)
+        row = {"city": "rome", "country": "it"}
+        assert model.log_score("country", "it", row) > model.log_score(
+            "country", "fr", row
+        )
+
+
+class TestHoloCleanDetector:
+    def test_tokenize_bins_numerics(self):
+        frame = DataFrame.from_dict({"x": [float(i) for i in range(40)]})
+        tokens = HoloCleanDetector(n_bins=4).tokenize(frame)
+        assert set(tokens["x"]) <= {"bin0", "bin1", "bin2", "bin3"}
+
+    def test_tokenize_missing(self):
+        frame = DataFrame.from_dict({"x": [1.0, None]})
+        tokens = HoloCleanDetector().tokenize(frame)
+        assert tokens["x"][1] == "__missing__"
+
+    def test_detects_contextual_error(self):
+        # 'rome'/'fr' contradicts the dominant rome->it co-occurrence.
+        rows = [("rome", "it")] * 30 + [("paris", "fr")] * 30 + [("rome", "fr")]
+        frame = DataFrame.from_dict(
+            {
+                "city": [city for city, _ in rows],
+                "country": [country for _, country in rows],
+            }
+        )
+        from repro.fd import FunctionalDependency
+
+        context = DetectionContext(
+            rules=[FunctionalDependency(("city",), "country")]
+        )
+        result = HoloCleanDetector(posterior_margin=2.0).detect(frame, context)
+        assert (60, "country") in result.cells
+
+    def test_null_candidates_always_flagged(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, None, 1.5, 2.5, 1.0, 2.0, 1.2]})
+        result = HoloCleanDetector().detect(frame)
+        assert (2, "x") in result.cells
+
+    def test_hospital_precision(self, hospital_dirty):
+        result = HoloCleanDetector().detect(hospital_dirty.dirty, DetectionContext())
+        scores = detection_scores(result.cells, hospital_dirty.mask)
+        assert scores["precision"] > 0.6
+        assert scores["recall"] > 0.2
+
+    def test_noisy_candidates_reported(self, hospital_dirty):
+        result = HoloCleanDetector().detect(hospital_dirty.dirty)
+        assert result.metadata["noisy_candidates"] >= len(result.cells)

@@ -1,0 +1,88 @@
+"""Missing-value and disguised-missing-value detector tests."""
+
+from repro.dataframe import DataFrame
+from repro.detection import FAHESDetector, MVDetector, pattern_signature
+from repro.ingestion import DISGUISED, MISSING
+from repro.ml import detection_scores
+
+
+class TestMVDetector:
+    def test_none_cells(self):
+        frame = DataFrame.from_dict({"a": [1, None, 3]})
+        assert MVDetector().detect(frame).cells == {(1, "a")}
+
+    def test_textual_nulls(self):
+        frame = DataFrame.from_dict({"a": ["x", "NA ", "null", "fine"]},
+                                    dtypes={"a": "string"})
+        cells = MVDetector().detect(frame).cells
+        assert cells == {(1, "a"), (2, "a")}
+
+    def test_extra_tokens(self):
+        frame = DataFrame.from_dict({"a": ["x", "REDACTED"]})
+        detector = MVDetector(extra_null_tokens={"redacted"})
+        assert (1, "a") in detector.detect(frame).cells
+
+    def test_perfect_recall_on_injected(self, nasa_dirty):
+        result = MVDetector().detect(nasa_dirty.dirty)
+        missing = nasa_dirty.cells_by_type[MISSING]
+        assert missing <= result.cells
+
+
+class TestPatternSignature:
+    def test_letters_collapse(self):
+        assert pattern_signature("abc") == "a"
+        assert pattern_signature("Hello") == "a"
+
+    def test_digits(self):
+        assert pattern_signature("123") == "9"
+        assert pattern_signature("ab12") == "a9"
+
+    def test_punctuation_kept(self):
+        assert pattern_signature("a-b") == "a-a"
+        assert pattern_signature("12.5") == "9.9"
+
+
+class TestFAHES:
+    def test_numeric_sentinels_detected(self, nasa_dirty):
+        result = FAHESDetector().detect(nasa_dirty.dirty)
+        disguised = nasa_dirty.cells_by_type[DISGUISED]
+        scores = detection_scores(result.cells, disguised)
+        assert scores["recall"] > 0.5
+
+    def test_string_null_spellings(self):
+        frame = DataFrame.from_dict(
+            {"c": ["red", "blue", "N/A", "green", "N/A", "N/A", "blue"]}
+        )
+        result = FAHESDetector(min_repeats=2).detect(frame)
+        assert {(2, "c"), (4, "c"), (5, "c")} <= result.cells
+
+    def test_repeated_syntactic_outlier(self):
+        values = [f"name{i}" for i in range(40)] + ["99999"] * 4
+        frame = DataFrame.from_dict({"c": values}, dtypes={"c": "string"})
+        result = FAHESDetector().detect(frame)
+        flagged_values = {frame.at(row, col) for row, col in result.cells}
+        assert "99999" in flagged_values
+
+    def test_rare_but_valid_value_not_flagged(self):
+        values = ["alpha"] * 30 + ["omega"]
+        frame = DataFrame.from_dict({"c": values})
+        result = FAHESDetector().detect(frame)
+        assert (30, "c") not in result.cells  # appears once, below min_repeats
+
+    def test_detached_boundary_value(self):
+        values = [float(v) for v in range(50, 100)] + [-1.0] * 5
+        frame = DataFrame.from_dict({"x": values})
+        result = FAHESDetector().detect(frame)
+        assert all(frame.at(row, "x") == -1.0 for row, _ in result.cells)
+        assert len(result.cells) == 5
+
+    def test_legitimate_zero_heavy_column_not_flagged(self):
+        # Zeros inside the bulk of the distribution are not DMVs.
+        values = [0.0, 1.0, 2.0, 0.0, 1.5, 0.0, 2.5, 0.5, 1.0, 0.0] * 3
+        frame = DataFrame.from_dict({"x": values})
+        result = FAHESDetector().detect(frame)
+        assert len(result.cells) == 0
+
+    def test_dmv_metadata_reported(self, nasa_dirty):
+        result = FAHESDetector().detect(nasa_dirty.dirty)
+        assert "dmvs_per_column" in result.metadata

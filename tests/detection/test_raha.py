@@ -1,0 +1,134 @@
+"""RAHA (ML-based, user-labeled) detector tests."""
+
+import numpy as np
+
+from repro.dataframe import Column, DataFrame
+from repro.detection import DetectionContext, RAHADetector, featurize_column
+from repro.core import SimulatedUser
+from repro.ingestion import make_dirty
+from repro.ml import detection_scores
+
+LABELING_PROFILE = dict(
+    missing_rate=0.0075,
+    outlier_rate=0.0075,
+    disguised_rate=0.0075,
+    subtle_rate=0.06,
+)
+
+
+class TestFeaturization:
+    def test_numeric_features(self):
+        column = Column("x", [1.0, 2.0, 3.0, 100.0, None] * 3)
+        matrix, names = featurize_column(column)
+        assert matrix.shape == (15, len(names))
+        assert "is_missing" in names
+        assert any(name.startswith("z_gt") for name in names)
+
+    def test_missing_feature_set(self):
+        column = Column("x", [1.0, None, 3.0, 2.0, 2.5, 1.5, 2.2, 2.8])
+        matrix, names = featurize_column(column)
+        missing_index = names.index("is_missing")
+        assert matrix[1, missing_index] == 1.0
+        assert matrix[0, missing_index] == 0.0
+
+    def test_string_features(self):
+        column = Column("c", ["alpha", "beta", "N/A", "gamma", "delta"])
+        matrix, names = featurize_column(column)
+        assert "null_like" in names
+        null_index = names.index("null_like")
+        assert matrix[2, null_index] == 1.0
+
+    def test_binary_matrix(self):
+        column = Column("x", [float(i) for i in range(20)])
+        matrix, _ = featurize_column(column)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+
+class TestRAHADetection:
+    def test_labels_only_mode(self, nasa_dirty):
+        """Without a labeler, pre-collected labels still drive detection."""
+        labels = {}
+        mask = nasa_dirty.mask
+        rng = np.random.default_rng(0)
+        rows = rng.choice(nasa_dirty.dirty.num_rows, size=30, replace=False)
+        for row in rows:
+            for column in nasa_dirty.dirty.column_names:
+                labels[(int(row), column)] = (int(row), column) in mask
+        context = DetectionContext(labels=labels)
+        result = RAHADetector(seed=0).detect(nasa_dirty.dirty, context)
+        scores = detection_scores(result.cells, mask)
+        assert scores["f1"] > 0.3
+
+    def test_interactive_budget_respected(self):
+        bundle = make_dirty("nasa", seed=5, overrides=LABELING_PROFILE)
+        user = SimulatedUser(bundle.mask)
+        context = DetectionContext(labeler=user, labeling_budget=10)
+        result = RAHADetector(seed=1).detect(bundle.dirty, context)
+        assert result.metadata["labeled_tuples"] <= 10
+        assert result.metadata["reviewed_tuples"] >= result.metadata[
+            "labeled_tuples"
+        ]
+
+    def test_reviewed_exceeds_budget_with_sparse_errors(self):
+        """The Figure-3 effect: clean tuples get reviewed and skipped."""
+        reviewed, labeled = [], []
+        for seed in range(3):
+            bundle = make_dirty("nasa", seed=seed, overrides=LABELING_PROFILE)
+            user = SimulatedUser(bundle.mask)
+            context = DetectionContext(labeler=user, labeling_budget=10)
+            result = RAHADetector(seed=seed, clusters_per_column=6).detect(
+                bundle.dirty, context
+            )
+            reviewed.append(result.metadata["reviewed_tuples"])
+            labeled.append(result.metadata["labeled_tuples"])
+        assert sum(reviewed) > sum(labeled) * 1.2
+
+    def test_f1_improves_with_budget(self):
+        def mean_f1(budget: int) -> float:
+            scores = []
+            for seed in range(3):
+                bundle = make_dirty(
+                    "nasa", seed=seed, overrides=LABELING_PROFILE
+                )
+                user = SimulatedUser(bundle.mask)
+                context = DetectionContext(labeler=user, labeling_budget=budget)
+                result = RAHADetector(
+                    seed=seed, clusters_per_column=6
+                ).detect(bundle.dirty, context)
+                scores.append(
+                    detection_scores(result.cells, bundle.mask)["f1"]
+                )
+            return float(np.mean(scores))
+
+        assert mean_f1(20) > mean_f1(5)
+
+    def test_labels_written_back_to_context(self):
+        bundle = make_dirty("nasa", seed=2, overrides=LABELING_PROFILE)
+        user = SimulatedUser(bundle.mask)
+        context = DetectionContext(labeler=user, labeling_budget=5)
+        RAHADetector(seed=0).detect(bundle.dirty, context)
+        assert len(context.labels) > 0
+
+    def test_no_labels_no_crash(self, nasa_dirty):
+        result = RAHADetector(seed=0).detect(
+            nasa_dirty.dirty, DetectionContext()
+        )
+        assert result.cells == set()
+
+
+class TestSimulatedUser:
+    def test_truthful_labels(self):
+        frame = DataFrame.from_dict({"a": [1, 2], "b": [3, 4]})
+        user = SimulatedUser({(0, "a")})
+        labels = user(0, frame)
+        assert labels[(0, "a")] is True
+        assert labels[(0, "b")] is False
+
+    def test_noise_flips_labels(self):
+        frame = DataFrame.from_dict({"a": list(range(100))})
+        user = SimulatedUser(set(), noise=0.5, seed=0)
+        labels = {}
+        for row in range(100):
+            labels.update(user(row, frame))
+        flipped = sum(1 for v in labels.values() if v)
+        assert 25 <= flipped <= 75

@@ -1,0 +1,101 @@
+"""SD / IQR / isolation-forest detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.detection import (
+    DetectionContext,
+    IQRDetector,
+    IsolationForestDetector,
+    SDDetector,
+)
+from repro.ingestion import OUTLIER
+from repro.ml import detection_scores
+
+
+def frame_with_outlier():
+    values = [float(v) for v in np.random.default_rng(0).normal(10, 1, 100)]
+    values[7] = 100.0
+    return DataFrame.from_dict({"x": values, "label": ["a"] * 100})
+
+
+class TestSD:
+    def test_flags_planted_outlier(self):
+        result = SDDetector(k=3.0).detect(frame_with_outlier())
+        assert (7, "x") in result.cells
+
+    def test_ignores_categorical(self):
+        result = SDDetector().detect(frame_with_outlier())
+        assert all(column == "x" for _, column in result.cells)
+
+    def test_k_controls_sensitivity(self):
+        frame = frame_with_outlier()
+        loose = SDDetector(k=2.0).detect(frame)
+        strict = SDDetector(k=4.0).detect(frame)
+        assert strict.cells <= loose.cells
+
+    def test_scores_are_z_values(self):
+        result = SDDetector(k=3.0).detect(frame_with_outlier())
+        assert result.scores[(7, "x")] > 3.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SDDetector(k=0.0)
+
+    def test_constant_column_no_flags(self):
+        frame = DataFrame.from_dict({"x": [5.0] * 50})
+        assert len(SDDetector().detect(frame).cells) == 0
+
+    def test_column_subset(self):
+        frame = DataFrame.from_dict(
+            {"x": [1.0] * 20 + [100.0], "y": [1.0] * 20 + [100.0]}
+        )
+        result = SDDetector(columns=["x"]).detect(frame)
+        assert all(column == "x" for _, column in result.cells)
+
+
+class TestIQR:
+    def test_flags_planted_outlier(self):
+        result = IQRDetector().detect(frame_with_outlier())
+        assert (7, "x") in result.cells
+
+    def test_factor_controls_sensitivity(self):
+        frame = frame_with_outlier()
+        loose = IQRDetector(factor=1.0).detect(frame)
+        strict = IQRDetector(factor=3.0).detect(frame)
+        assert strict.cells <= loose.cells
+
+    def test_missing_cells_not_flagged(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, None, 3.0, 2.5, 1.5]})
+        result = IQRDetector().detect(frame)
+        assert (2, "x") not in result.cells
+
+    def test_recall_on_injected_outliers(self, nasa_dirty):
+        result = IQRDetector().detect(nasa_dirty.dirty)
+        outliers = nasa_dirty.cells_by_type[OUTLIER]
+        recall = len(result.cells & outliers) / len(outliers)
+        assert recall > 0.8
+
+
+class TestIsolationForestDetector:
+    def test_univariate_flags_injected_outliers(self, nasa_dirty):
+        detector = IsolationForestDetector(
+            contamination=0.05, n_estimators=25, seed=0
+        )
+        result = detector.detect(nasa_dirty.dirty, DetectionContext())
+        scores = detection_scores(result.cells, nasa_dirty.cells_by_type[OUTLIER])
+        assert scores["recall"] > 0.5
+
+    def test_multivariate_mode_flags_rows(self):
+        frame = frame_with_outlier()
+        detector = IsolationForestDetector(
+            multivariate=True, contamination=0.03, n_estimators=30, seed=0
+        )
+        result = detector.detect(frame)
+        assert 7 in result.rows()
+
+    def test_small_frame_no_crash(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, 3.0]})
+        result = IsolationForestDetector().detect(frame)
+        assert result.cells == set()

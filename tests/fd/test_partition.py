@@ -1,0 +1,83 @@
+"""Stripped-partition data structure tests."""
+
+from repro.dataframe import DataFrame
+from repro.fd import StrippedPartition
+
+
+def frame():
+    return DataFrame.from_dict(
+        {
+            "A": [1, 1, 2, 2, 3],
+            "B": ["x", "x", "x", "y", "y"],
+            "C": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestConstruction:
+    def test_singletons_stripped(self):
+        partition = StrippedPartition.from_column(frame(), "A")
+        assert partition.classes == [[0, 1], [2, 3]]
+
+    def test_key_column_empty(self):
+        partition = StrippedPartition.from_column(frame(), "C")
+        assert partition.num_classes == 0
+        assert partition.is_superkey()
+
+    def test_empty_attribute_set_single_class(self):
+        partition = StrippedPartition.from_columns(frame(), [])
+        assert partition.num_classes == 1
+        assert partition.size == 5
+
+    def test_missing_values_group_together(self):
+        data = DataFrame.from_dict({"A": [None, None, 1]})
+        partition = StrippedPartition.from_column(data, "A")
+        assert partition.classes == [[0, 1]]
+
+
+class TestErrorMeasure:
+    def test_error_formula(self):
+        partition = StrippedPartition.from_column(frame(), "A")
+        assert partition.size == 4
+        assert partition.num_classes == 2
+        assert partition.error == 2
+
+    def test_superkey_zero_error(self):
+        assert StrippedPartition.from_column(frame(), "C").error == 0
+
+
+class TestProduct:
+    def test_product_equals_direct(self):
+        data = frame()
+        left = StrippedPartition.from_column(data, "A")
+        right = StrippedPartition.from_column(data, "B")
+        assert left.product(right) == StrippedPartition.from_columns(
+            data, ["A", "B"]
+        )
+
+    def test_product_commutative(self):
+        data = frame()
+        left = StrippedPartition.from_column(data, "A")
+        right = StrippedPartition.from_column(data, "B")
+        assert left.product(right) == right.product(left)
+
+    def test_product_refines_inputs(self):
+        data = frame()
+        left = StrippedPartition.from_column(data, "A")
+        right = StrippedPartition.from_column(data, "B")
+        combined = left.product(right)
+        assert combined.refines(left)
+        assert combined.refines(right)
+
+    def test_product_with_self_is_identity(self):
+        partition = StrippedPartition.from_column(frame(), "A")
+        assert partition.product(partition) == partition
+
+
+class TestRefines:
+    def test_refinement_detected(self):
+        data = frame()
+        ab = StrippedPartition.from_columns(data, ["A", "B"])
+        a = StrippedPartition.from_column(data, "A")
+        assert ab.refines(a)
+        assert not a.refines(ab)

@@ -1,0 +1,79 @@
+"""Split and cross-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    accuracy_score,
+    cross_val_score,
+    k_fold_indices,
+    train_test_split,
+    train_test_split_indices,
+)
+
+
+class TestTrainTestSplit:
+    def test_partition_covers_everything(self):
+        train, test = train_test_split_indices(100, 0.25, seed=1)
+        assert sorted(train + test) == list(range(100))
+        assert len(test) == 25
+
+    def test_deterministic(self):
+        assert train_test_split_indices(50, 0.2, seed=7) == train_test_split_indices(
+            50, 0.2, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        a = train_test_split_indices(50, 0.2, seed=1)
+        b = train_test_split_indices(50, 0.2, seed=2)
+        assert a != b
+
+    def test_bad_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 1.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(1, 0.5)
+
+    def test_matrix_split(self):
+        features = np.arange(20).reshape(10, 2)
+        target = list(range(10))
+        x_train, x_test, y_train, y_test = train_test_split(
+            features, target, 0.3, seed=0
+        )
+        assert len(x_test) == 3
+        assert [int(row[0] // 2) for row in x_train] == y_train
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        seen = []
+        for train, test in k_fold_indices(10, 5, seed=0):
+            assert sorted(train + test) == list(range(10))
+            seen += test
+        assert sorted(seen) == list(range(10))
+
+    def test_uneven_folds(self):
+        sizes = [len(test) for _, test in k_fold_indices(10, 3, seed=0)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_too_many_folds(self):
+        with pytest.raises(ValueError):
+            list(k_fold_indices(3, 5))
+
+
+def test_cross_val_score_runs_per_fold():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(60, 2))
+    target = ["a" if x > 0 else "b" for x in features[:, 0]]
+    scores = cross_val_score(
+        lambda: DecisionTreeClassifier(max_depth=3),
+        features,
+        target,
+        scorer=accuracy_score,
+        n_folds=4,
+    )
+    assert len(scores) == 4
+    assert all(score > 0.7 for score in scores)

@@ -1,0 +1,109 @@
+"""Drift-comparison tests (profile diffing / monitoring signal)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.profiling import (
+    categorical_shift,
+    compare_frames,
+    drift_report,
+    population_stability_index,
+)
+from repro.profiling.compare import (
+    CARDINALITY_SHIFT,
+    DISTRIBUTION_SHIFT,
+    DTYPE_CHANGED,
+    MISSINGNESS_SHIFT,
+    SCHEMA_ADDED,
+    SCHEMA_REMOVED,
+)
+
+
+def normal_frame(mean: float, n: int = 400, seed: int = 0) -> DataFrame:
+    rng = np.random.default_rng(seed)
+    return DataFrame.from_dict({"x": list(rng.normal(mean, 1.0, n))})
+
+
+class TestPSI:
+    def test_identical_distribution_near_zero(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 1, 2000)
+        curr = rng.normal(0, 1, 2000)
+        assert population_stability_index(base, curr) < 0.05
+
+    def test_shifted_distribution_large(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(0, 1, 2000)
+        curr = rng.normal(2.0, 1, 2000)
+        assert population_stability_index(base, curr) > 0.5
+
+    def test_handles_nan(self):
+        base = np.array([1.0, 2.0, np.nan, 3.0] * 20)
+        curr = np.array([1.0, np.nan, 2.0, 3.0] * 20)
+        assert population_stability_index(base, curr) < 0.1
+
+    def test_tiny_samples_zero(self):
+        assert population_stability_index(np.array([1.0]), np.array([2.0])) == 0.0
+
+
+class TestCategoricalShift:
+    def test_same_mix_zero(self):
+        values = ["a", "b", "a", "b"] * 10
+        assert categorical_shift(values, list(values)) == 0.0
+
+    def test_disjoint_mix_one(self):
+        assert categorical_shift(["a"] * 10, ["b"] * 10) == pytest.approx(1.0)
+
+    def test_partial_shift(self):
+        base = ["a"] * 50 + ["b"] * 50
+        curr = ["a"] * 80 + ["b"] * 20
+        assert categorical_shift(base, curr) == pytest.approx(0.3)
+
+
+class TestCompareFrames:
+    def test_no_drift_no_findings(self):
+        frame = normal_frame(0.0)
+        assert compare_frames(frame, frame) == []
+
+    def test_schema_changes(self):
+        base = DataFrame.from_dict({"a": [1, 2]})
+        curr = DataFrame.from_dict({"b": [1, 2]})
+        kinds = {f.kind for f in compare_frames(base, curr)}
+        assert kinds == {SCHEMA_ADDED, SCHEMA_REMOVED}
+
+    def test_dtype_change(self):
+        base = DataFrame.from_dict({"a": [1, 2]})
+        curr = DataFrame.from_dict({"a": ["1", "x"]})
+        kinds = {f.kind for f in compare_frames(base, curr)}
+        assert DTYPE_CHANGED in kinds
+
+    def test_missingness_shift(self):
+        base = DataFrame.from_dict({"a": [1.0] * 100})
+        curr = DataFrame.from_dict({"a": [1.0] * 80 + [None] * 20})
+        findings = compare_frames(base, curr)
+        assert any(f.kind == MISSINGNESS_SHIFT for f in findings)
+
+    def test_numeric_distribution_shift(self):
+        findings = compare_frames(normal_frame(0.0), normal_frame(3.0, seed=2))
+        assert any(f.kind == DISTRIBUTION_SHIFT for f in findings)
+
+    def test_categorical_mix_shift(self):
+        base = DataFrame.from_dict({"c": ["x"] * 80 + ["y"] * 20})
+        curr = DataFrame.from_dict({"c": ["x"] * 20 + ["y"] * 80})
+        findings = compare_frames(base, curr)
+        assert any(f.kind == CARDINALITY_SHIFT for f in findings)
+
+    def test_sorted_by_severity(self):
+        base = DataFrame.from_dict({"a": [1.0] * 50, "gone": [1] * 50})
+        curr = DataFrame.from_dict({"a": [1.0] * 40 + [None] * 10})
+        findings = compare_frames(base, curr)
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities, reverse=True)
+
+
+def test_drift_report_structure():
+    report = drift_report(normal_frame(0.0), normal_frame(3.0, seed=5))
+    assert report["num_findings"] >= 1
+    assert 0.0 < report["max_severity"] <= 1.0
+    assert report["findings"][0]["column"] == "x"

@@ -1,0 +1,102 @@
+"""Property-based tests for repair invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame
+from repro.repair import HoloCleanRepairer, MLImputer, StandardImputer
+
+
+@st.composite
+def frames_with_cells(draw):
+    n_rows = draw(st.integers(min_value=6, max_value=30))
+    numeric = draw(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=-1e3,
+                    max_value=1e3,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    categories = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", None]),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    frame = DataFrame.from_dict({"x": numeric, "c": categories})
+    n_cells = draw(st.integers(min_value=1, max_value=n_rows))
+    rows = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_rows - 1),
+            min_size=n_cells,
+            max_size=n_cells,
+        )
+    )
+    columns = draw(
+        st.lists(
+            st.sampled_from(["x", "c"]), min_size=n_cells, max_size=n_cells
+        )
+    )
+    cells = set(zip(rows, columns))
+    return frame, cells
+
+
+REPAIRER_FACTORIES = (
+    lambda: StandardImputer(),
+    lambda: MLImputer(min_train_rows=4),
+    lambda: HoloCleanRepairer(n_bins=4),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(frames_with_cells(), st.integers(min_value=0, max_value=2))
+def test_repairs_only_touch_requested_cells(bundle, which):
+    frame, cells = bundle
+    result = REPAIRER_FACTORIES[which]().repair(frame, cells)
+    assert set(result.repairs) <= cells
+    repaired = result.apply_to(frame)
+    for name in frame.column_names:
+        for row in range(frame.num_rows):
+            if (row, name) not in cells:
+                before = frame.at(row, name)
+                after = repaired.at(row, name)
+                assert before == after or (before is None and after is None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(frames_with_cells(), st.integers(min_value=0, max_value=2))
+def test_apply_is_idempotent(bundle, which):
+    frame, cells = bundle
+    result = REPAIRER_FACTORIES[which]().repair(frame, cells)
+    once = result.apply_to(frame)
+    twice = result.apply_to(once)
+    assert once == twice
+
+
+@settings(max_examples=25, deadline=None)
+@given(frames_with_cells())
+def test_standard_imputer_leaves_no_missing_detected_cell(bundle):
+    frame, cells = bundle
+    result = StandardImputer().repair(frame, cells)
+    repaired = result.apply_to(frame)
+    for cell in cells:
+        assert repaired.at(cell[0], cell[1]) is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(frames_with_cells())
+def test_shape_and_columns_preserved(bundle):
+    frame, cells = bundle
+    for factory in REPAIRER_FACTORIES:
+        repaired = factory().repair(frame, cells).apply_to(frame)
+        assert repaired.shape == frame.shape
+        assert repaired.column_names == frame.column_names

@@ -1,0 +1,168 @@
+"""Repair tool tests: standard, ML, and HoloClean imputation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.repair import (
+    DUMMY_VALUE,
+    HoloCleanRepairer,
+    MLImputer,
+    StandardImputer,
+    group_cells_by_column,
+    mask_cells,
+)
+
+
+@pytest.fixture
+def numeric_frame():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 10, 60)
+    return DataFrame.from_dict(
+        {
+            "x": [float(v) for v in x],
+            "y": [float(2.0 * v + 1.0) for v in x],
+        }
+    )
+
+
+class TestHelpers:
+    def test_mask_cells(self, numeric_frame):
+        masked = mask_cells(numeric_frame, {(0, "x"), (1, "y")})
+        assert masked.at(0, "x") is None
+        assert masked.at(1, "y") is None
+        assert numeric_frame.at(0, "x") is not None
+
+    def test_mask_ignores_out_of_bounds(self, numeric_frame):
+        masked = mask_cells(numeric_frame, {(999, "x"), (0, "ghost")})
+        assert masked == numeric_frame
+
+    def test_group_cells(self):
+        grouped = group_cells_by_column({(3, "a"), (1, "a"), (2, "b")})
+        assert grouped == {"a": [1, 3], "b": [2]}
+
+
+class TestStandardImputer:
+    def test_mean_excludes_detected_values(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, 3.0, 1000.0]})
+        result = StandardImputer().repair(frame, {(3, "x")})
+        assert result.repairs[(3, "x")] == pytest.approx(2.0)
+
+    def test_median_strategy(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, 9.0, 1000.0]})
+        result = StandardImputer(numeric_strategy="median").repair(
+            frame, {(3, "x")}
+        )
+        assert result.repairs[(3, "x")] == pytest.approx(2.0)
+
+    def test_dummy_for_categorical(self):
+        frame = DataFrame.from_dict({"c": ["a", "b", None]})
+        result = StandardImputer().repair(frame, {(2, "c")})
+        assert result.repairs[(2, "c")] == DUMMY_VALUE
+
+    def test_mode_strategy(self):
+        frame = DataFrame.from_dict({"c": ["a", "a", "b", None]})
+        result = StandardImputer(categorical_strategy="mode").repair(
+            frame, {(3, "c")}
+        )
+        assert result.repairs[(3, "c")] == "a"
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            StandardImputer(numeric_strategy="mode")
+
+    def test_apply_to_only_touches_detected(self, numeric_frame):
+        cells = {(0, "x")}
+        result = StandardImputer().repair(numeric_frame, cells)
+        repaired = result.apply_to(numeric_frame)
+        for row in range(1, numeric_frame.num_rows):
+            assert repaired.at(row, "x") == numeric_frame.at(row, "x")
+
+
+class TestMLImputer:
+    def test_tree_uses_correlated_feature(self, numeric_frame):
+        """y = 2x + 1; the imputer should recover y from x within noise."""
+        truth = numeric_frame.at(5, "y")
+        result = MLImputer(tree_depth=10).repair(numeric_frame, {(5, "y")})
+        assert result.repairs[(5, "y")] == pytest.approx(truth, abs=2.0)
+        assert result.metadata["models"]["y"] == "decision_tree"
+
+    def test_knn_for_categorical(self):
+        rows = [("hot", 35.0), ("hot", 33.0), ("cold", 2.0), ("cold", 4.0)] * 8
+        frame = DataFrame.from_dict(
+            {
+                "label": [label for label, _ in rows],
+                "temp": [temp for _, temp in rows],
+            }
+        )
+        result = MLImputer(n_neighbors=3).repair(frame, {(0, "label")})
+        assert result.repairs[(0, "label")] == "hot"
+        assert result.metadata["models"]["label"] == "knn"
+
+    def test_fallback_when_too_few_rows(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, None], "y": [1, 2, 3]})
+        result = MLImputer(min_train_rows=10).repair(frame, {(2, "x")})
+        assert result.metadata["models"]["x"] == "fallback_constant"
+        assert result.repairs[(2, "x")] == pytest.approx(1.5)
+
+    def test_int_columns_repaired_with_ints(self):
+        frame = DataFrame.from_dict(
+            {"x": list(range(30)), "y": [2 * v for v in range(30)]}
+        )
+        result = MLImputer().repair(frame, {(4, "y")})
+        assert isinstance(result.repairs[(4, "y")], int)
+
+    def test_better_than_mean_on_structured_data(self, numeric_frame):
+        cells = {(i, "y") for i in range(0, 20)}
+        truth = [numeric_frame.at(i, "y") for i in range(20)]
+        ml = MLImputer(tree_depth=10).repair(numeric_frame, cells)
+        standard = StandardImputer().repair(numeric_frame, cells)
+        ml_error = sum(
+            abs(ml.repairs[(i, "y")] - truth[i]) for i in range(20)
+        )
+        mean_error = sum(
+            abs(standard.repairs[(i, "y")] - truth[i]) for i in range(20)
+        )
+        assert ml_error < mean_error
+
+
+class TestHoloCleanRepairer:
+    def test_categorical_repair_from_cooccurrence(self):
+        rows = [("rome", "it")] * 20 + [("paris", "fr")] * 20
+        frame = DataFrame.from_dict(
+            {
+                "city": [city for city, _ in rows],
+                "country": [country for _, country in rows],
+            }
+        )
+        result = HoloCleanRepairer().repair(frame, {(0, "country")})
+        assert result.repairs[(0, "country")] == "it"
+
+    def test_numeric_repair_returns_bin_mean(self, numeric_frame):
+        result = HoloCleanRepairer(n_bins=8).repair(numeric_frame, {(3, "y")})
+        value = result.repairs[(3, "y")]
+        truth = numeric_frame.at(3, "y")
+        assert abs(value - truth) < 8.0
+
+    def test_repair_count_matches_cells(self, hospital_dirty):
+        cells = set(list(hospital_dirty.mask)[:40])
+        result = HoloCleanRepairer().repair(hospital_dirty.dirty, cells)
+        assert len(result.repairs) == len(cells)
+
+
+class TestRepairResult:
+    def test_shape_preserved(self, numeric_frame):
+        result = StandardImputer().repair(numeric_frame, {(0, "x")})
+        assert result.apply_to(numeric_frame).shape == numeric_frame.shape
+
+    def test_no_missing_left_in_detected_cells(self, nasa_dirty):
+        cells = nasa_dirty.dirty.missing_cells()
+        result = MLImputer().repair(nasa_dirty.dirty, cells)
+        repaired = result.apply_to(nasa_dirty.dirty)
+        assert repaired.missing_count() == 0
+
+    def test_to_dict(self, numeric_frame):
+        result = StandardImputer().repair(numeric_frame, {(0, "x")})
+        payload = result.to_dict()
+        assert payload["tool"] == "standard_imputer"
+        assert payload["num_repairs"] == 1

@@ -1,0 +1,110 @@
+"""CLI tests (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dataframe import read_csv, write_csv
+from repro.ingestion import make_dirty
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    bundle = make_dirty("nasa", seed=3)
+    path = tmp_path / "nasa.csv"
+    write_csv(bundle.dirty, path)
+    return path
+
+
+class TestProfileCommand:
+    def test_human_readable(self, dirty_csv, capsys):
+        assert main(["profile", str(dirty_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "rows=1503" in out
+        assert "Frequency" in out
+
+    def test_json_output(self, dirty_csv, capsys):
+        assert main(["profile", str(dirty_csv), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["overview"]["rows"] == 1503
+
+    def test_preloaded_name(self, capsys):
+        assert main(["profile", "beers"]) == 0
+        assert "abv" in capsys.readouterr().out
+
+
+class TestDetectCommand:
+    def test_detect_prints_per_tool(self, dirty_csv, capsys):
+        assert main(
+            ["detect", str(dirty_csv), "--tools", "iqr", "mv_detector"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "iqr" in out
+        assert "consolidated" in out
+
+    def test_detect_writes_cells(self, dirty_csv, tmp_path, capsys):
+        out_path = tmp_path / "cells.json"
+        main(
+            [
+                "detect", str(dirty_csv),
+                "--tools", "mv_detector",
+                "--output", str(out_path),
+            ]
+        )
+        cells = json.loads(out_path.read_text(encoding="utf-8"))
+        assert cells
+        assert {"row", "column"} == set(cells[0])
+
+
+class TestRepairCommand:
+    def test_repair_roundtrip(self, dirty_csv, tmp_path, capsys):
+        out_path = tmp_path / "repaired.csv"
+        assert main(
+            [
+                "repair", str(dirty_csv),
+                "--tools", "mv_detector",
+                "--repairer", "standard_imputer",
+                "--output", str(out_path),
+            ]
+        ) == 0
+        repaired = read_csv(out_path)
+        assert repaired.missing_count() == 0
+
+
+class TestRulesCommand:
+    def test_rules_on_hospital(self, tmp_path, capsys):
+        from repro.ingestion import hospital
+
+        path = tmp_path / "hospital.csv"
+        write_csv(hospital(200), path)
+        assert main(["rules", str(path), "--max-lhs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[ZipCode] -> City" in out
+
+
+class TestDatasheetCommand:
+    def test_replay(self, dirty_csv, tmp_path, capsys):
+        from repro.core import DataSheet
+
+        sheet = DataSheet(
+            dataset_name="nasa",
+            detection_tools=[{"name": "mv_detector", "config": {}}],
+            repair_tools=[{"name": "standard_imputer", "config": {}}],
+        )
+        sheet_path = sheet.save(tmp_path / "sheet.json")
+        out_path = tmp_path / "fixed.csv"
+        assert main(
+            [
+                "datasheet", "replay", str(sheet_path), str(dirty_csv),
+                "--output", str(out_path),
+            ]
+        ) == 0
+        assert read_csv(out_path).missing_count() == 0
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("nasa", "beers", "hospital", "adult"):
+        assert name in out

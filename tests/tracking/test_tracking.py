@@ -1,0 +1,105 @@
+"""Experiment tracking (MLflow substitute) tests."""
+
+import pytest
+
+from repro.tracking import (
+    DETECTION_EXPERIMENT,
+    FAILED,
+    FINISHED,
+    TrackingClient,
+    TrackingStore,
+)
+
+
+class TestStore:
+    def test_create_experiment_idempotent(self, tmp_path):
+        store = TrackingStore(tmp_path)
+        first = store.create_experiment("Detection")
+        second = store.create_experiment("Detection")
+        assert first == second
+        assert len(store.list_experiments()) == 1
+
+    def test_run_persistence_roundtrip(self, tmp_path):
+        store = TrackingStore(tmp_path)
+        experiment_id = store.create_experiment("Detection")
+        run = store.create_run(experiment_id, "nasa:iqr")
+        run.params["factor"] = 1.5
+        run.metrics["num_cells"] = [(0, 42.0)]
+        store.save_run(run)
+        loaded = store.load_run(experiment_id, run.run_id)
+        assert loaded.params["factor"] == 1.5
+        assert loaded.metrics["num_cells"] == [(0, 42.0)]
+
+    def test_unknown_experiment(self, tmp_path):
+        store = TrackingStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.create_run("exp_9999", "x")
+
+    def test_list_runs(self, tmp_path):
+        store = TrackingStore(tmp_path)
+        experiment_id = store.create_experiment("Repair")
+        store.create_run(experiment_id, "a")
+        store.create_run(experiment_id, "b")
+        assert len(store.list_runs(experiment_id)) == 2
+
+    def test_artifacts(self, tmp_path):
+        store = TrackingStore(tmp_path)
+        experiment_id = store.create_experiment("Detection")
+        run = store.create_run(experiment_id, "x")
+        store.log_artifact_text(run, "sheet.json", "{}")
+        assert store.list_artifacts(run) == ["sheet.json"]
+
+
+class TestClient:
+    def test_run_context_finishes(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with client.start_run(DETECTION_EXPERIMENT, "r1"):
+            client.log_param("tool", "iqr")
+            client.log_metric("cells", 10.0)
+        runs = client.search_runs(DETECTION_EXPERIMENT)
+        assert len(runs) == 1
+        assert runs[0].status == FINISHED
+        assert runs[0].params["tool"] == "iqr"
+        assert runs[0].latest_metrics()["cells"] == 10.0
+
+    def test_failure_marks_run(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with pytest.raises(RuntimeError):
+            with client.start_run(DETECTION_EXPERIMENT, "bad"):
+                raise RuntimeError("boom")
+        runs = client.search_runs(DETECTION_EXPERIMENT, status=FAILED)
+        assert len(runs) == 1
+
+    def test_metric_steps_accumulate(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with client.start_run("Repair", "r"):
+            client.log_metric("loss", 3.0)
+            client.log_metric("loss", 2.0)
+            client.log_metric("loss", 1.0)
+        run = client.search_runs("Repair")[0]
+        assert [value for _, value in run.metrics["loss"]] == [3.0, 2.0, 1.0]
+
+    def test_log_outside_run_raises(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with pytest.raises(RuntimeError):
+            client.log_param("x", 1)
+
+    def test_nested_runs_restore_previous(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with client.start_run("Detection", "outer"):
+            client.log_param("level", "outer")
+            with client.start_run("Detection", "inner"):
+                client.log_param("level", "inner")
+            client.log_param("after", True)
+        runs = {run.name: run for run in client.search_runs("Detection")}
+        assert runs["outer"].params["after"] is True
+        assert runs["inner"].params["level"] == "inner"
+
+    def test_text_artifact(self, tmp_path):
+        client = TrackingClient(tmp_path)
+        with client.start_run("Detection", "r"):
+            path = client.log_text_artifact("note.txt", "hello")
+        assert path.read_text(encoding="utf-8") == "hello"
+
+    def test_search_unknown_experiment_empty(self, tmp_path):
+        assert TrackingClient(tmp_path).search_runs("Nope") == []
