@@ -11,6 +11,8 @@ from __future__ import annotations
 from html import escape
 from typing import Any
 
+import numpy as np
+
 from ..core.controller import DataLensSession
 from ..core.registry import detector_names, repairer_names
 from .charts import bar_chart, stacked_bar_chart
@@ -65,6 +67,24 @@ def render_left_panel(session: DataLensSession) -> str:
     )
 
 
+def _affected_rows_table(session: DataLensSession, limit: int = 8) -> str:
+    """Rows containing at least one detected cell, via the select() fast path."""
+    frame = session.frame
+    if not session.detected_cells or not frame.num_rows:
+        return ""
+    row_mask = np.zeros(frame.num_rows, dtype=bool)
+    affected = sorted({row for row, _ in session.detected_cells})
+    row_mask[affected] = True
+    flagged = frame.select(row_mask)
+    records = flagged.head(limit).to_records()
+    for record, row_index in zip(records, affected):
+        record["row"] = row_index
+    return (
+        f"<h3>Rows with detected errors ({len(affected)} rows)</h3>"
+        + _table(records, ["row", *frame.column_names])
+    )
+
+
 def render_overview_tab(session: DataLensSession) -> str:
     frame = session.frame
     rows = frame.head(12).to_records()
@@ -84,6 +104,7 @@ def render_overview_tab(session: DataLensSession) -> str:
         + _table(rows, frame.column_names)
         + f"<h3>Detected errors ({len(session.detected_cells)} cells)</h3>"
         + detections_html
+        + _affected_rows_table(session)
         + "<h3>User labeling</h3>"
         + labeling
         + "</section>"

@@ -1,4 +1,29 @@
-"""A single named, typed column of a DataFrame."""
+"""A single named, typed column of a DataFrame.
+
+Storage contract (the array-backed columnar engine)
+---------------------------------------------------
+Every column is stored as two parallel numpy arrays:
+
+``_data``
+    A typed array holding the cell payloads. The numpy backing dtype per
+    logical dtype is given by :data:`repro.dataframe.types.NUMPY_DTYPES`:
+    ``int`` → ``int64`` (falling back to ``object`` when a value exceeds
+    the int64 range), ``float`` → ``float64``, ``bool`` → ``bool_``, and
+    ``string`` → ``object``. Non-missing float cells are never ``nan`` —
+    missingness lives exclusively in the mask.
+
+``_mask``
+    A boolean array of the same length; ``True`` marks a missing cell.
+    Masked slots in ``_data`` hold an arbitrary fill value
+    (:data:`repro.dataframe.types.FILL_VALUES`) and must never be read
+    without consulting the mask.
+
+The sequence API (``values()``, iteration, indexing, ``set``) is preserved
+exactly — it materializes Python-native values with ``None`` at masked
+slots — while vectorized consumers read :meth:`values_array`,
+:meth:`mask`, and :meth:`codes` directly and never touch per-cell Python
+objects.
+"""
 
 from __future__ import annotations
 
@@ -10,15 +35,50 @@ import numpy as np
 from . import types as _types
 
 
+def _pack(values: list[Any], dtype: str) -> tuple[np.ndarray, np.ndarray]:
+    """Pack coerced Python values into (data, mask) arrays for ``dtype``.
+
+    ``values`` must already be coerced: every element is either None or a
+    valid Python payload for the logical dtype.
+    """
+    n = len(values)
+    mask = np.fromiter(
+        (value is None for value in values), dtype=bool, count=n
+    )
+    fill = _types.FILL_VALUES[dtype]
+    if dtype == _types.STRING:
+        data = np.empty(n, dtype=object)
+        data[:] = values
+        return data, mask
+    filled = [fill if value is None else value for value in values]
+    target = _types.NUMPY_DTYPES[dtype]
+    if dtype == _types.INT:
+        try:
+            data = np.array(filled, dtype=target)
+        except OverflowError:
+            data = np.empty(n, dtype=object)
+            data[:] = filled
+    else:
+        data = np.array(filled, dtype=target)
+    return data, mask
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
 class Column:
     """Ordered collection of values with one dtype and None for missing.
 
     Columns are the unit of storage inside :class:`~repro.dataframe.DataFrame`.
     They behave like immutable sequences for reading, with explicit mutating
-    methods (``set``) used by the frame.
+    methods (``set``) used by the frame. Internally they are numpy-backed;
+    see the module docstring for the storage contract.
     """
 
-    __slots__ = ("name", "dtype", "_values")
+    __slots__ = ("name", "dtype", "_data", "_mask", "_codes_cache")
 
     def __init__(self, name: str, values: Iterable[Any], dtype: str | None = None):
         materialized = list(values)
@@ -28,21 +88,48 @@ class Column:
             raise ValueError(f"unknown dtype {dtype!r}")
         self.name = name
         self.dtype = dtype
-        self._values = [_types.coerce(value, dtype) for value in materialized]
+        coerced = [_types.coerce(value, dtype) for value in materialized]
+        self._data, self._mask = _pack(coerced, dtype)
+        self._codes_cache: tuple[np.ndarray, int] | None = None
+
+    @classmethod
+    def _from_arrays(
+        cls, name: str, dtype: str, data: np.ndarray, mask: np.ndarray
+    ) -> "Column":
+        """Wrap pre-validated (data, mask) arrays without re-coercing.
+
+        The column takes ownership of the arrays; callers must pass fresh
+        copies, never views into another column's storage.
+        """
+        column = cls.__new__(cls)
+        column.name = name
+        column.dtype = dtype
+        column._data = data
+        column._mask = mask
+        column._codes_cache = None
+        return column
 
     # ------------------------------------------------------------------
     # Sequence protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._data)
 
     def __iter__(self) -> Iterator[Any]:
-        return iter(self._values)
+        return iter(self.values())
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Column(self.name, self._values[index], self.dtype)
-        return self._values[index]
+            return Column._from_arrays(
+                self.name,
+                self.dtype,
+                self._data[index].copy(),
+                self._mask[index].copy(),
+            )
+        if self._mask[index]:
+            return None
+        value = self._data[index]
+        return value.item() if isinstance(value, np.generic) else value
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
@@ -56,15 +143,12 @@ class Column:
     def _equal_values(self, other: "Column") -> bool:
         if len(self) != len(other):
             return False
-        for mine, theirs in zip(self._values, other._values):
-            if _types.is_missing(mine) and _types.is_missing(theirs):
-                continue
-            if mine != theirs:
-                return False
-        return True
+        if not np.array_equal(self._mask, other._mask):
+            return False
+        return self.values() == other.values()
 
     def __repr__(self) -> str:
-        preview = ", ".join(repr(v) for v in self._values[:6])
+        preview = ", ".join(repr(v) for v in self.values()[:6])
         suffix = ", ..." if len(self) > 6 else ""
         return f"Column({self.name!r}, dtype={self.dtype}, [{preview}{suffix}])"
 
@@ -73,42 +157,83 @@ class Column:
     # ------------------------------------------------------------------
     def values(self) -> list[Any]:
         """Return a copy of the raw values (None marks missing)."""
-        return list(self._values)
+        out = self._data.tolist()
+        if self._mask.any():
+            for index in np.flatnonzero(self._mask).tolist():
+                out[index] = None
+        return out
+
+    def values_array(self) -> np.ndarray:
+        """Read-only view of the typed backing array.
+
+        Slots where :meth:`mask` is True hold fill values, not data.
+        """
+        return _readonly(self._data)
+
+    def mask(self) -> np.ndarray:
+        """Read-only boolean null mask (True = missing)."""
+        return _readonly(self._mask)
 
     def set(self, index: int, value: Any) -> None:
         """Overwrite one cell, widening the dtype if necessary."""
+        self._codes_cache = None
         try:
-            self._values[index] = _types.coerce(value, self.dtype)
+            coerced = _types.coerce(value, self.dtype)
         except (ValueError, TypeError):
             widened = _types.common_dtype(self.dtype, _types.infer_dtype([value]))
-            self._values = [_types.coerce(v, widened) for v in self._values]
+            values = [_types.coerce(v, widened) for v in self.values()]
+            values[index] = _types.coerce(value, widened)
             self.dtype = widened
-            self._values[index] = _types.coerce(value, widened)
+            self._data, self._mask = _pack(values, widened)
+            return
+        if not -len(self._data) <= index < len(self._data):
+            raise IndexError(f"index {index} out of range")
+        if coerced is None:
+            self._mask[index] = True
+            self._data[index] = _types.FILL_VALUES[self.dtype]
+            return
+        try:
+            self._data[index] = coerced
+        except OverflowError:
+            self._data = self._data.astype(object)
+            self._data[index] = coerced
+        self._mask[index] = False
 
     def copy(self) -> "Column":
-        return Column(self.name, self._values, self.dtype)
+        return Column._from_arrays(
+            self.name, self.dtype, self._data.copy(), self._mask.copy()
+        )
 
     def rename(self, name: str) -> "Column":
-        return Column(name, self._values, self.dtype)
+        return Column._from_arrays(
+            name, self.dtype, self._data.copy(), self._mask.copy()
+        )
 
     def astype(self, dtype: str) -> "Column":
         """Return a copy coerced to ``dtype`` (missing cells preserved)."""
-        return Column(self.name, self._values, dtype)
+        if dtype == self.dtype:
+            return self.copy()
+        if self.dtype == _types.INT and dtype == _types.FLOAT:
+            if self._data.dtype != object:
+                return Column._from_arrays(
+                    self.name, dtype, self._data.astype(float), self._mask.copy()
+                )
+        return Column(self.name, self.values(), dtype)
 
     # ------------------------------------------------------------------
     # Missing data
     # ------------------------------------------------------------------
     def is_missing(self) -> list[bool]:
-        return [_types.is_missing(v) for v in self._values]
+        return self._mask.tolist()
 
     def missing_count(self) -> int:
-        return sum(1 for v in self._values if _types.is_missing(v))
+        return int(self._mask.sum())
 
     def non_missing(self) -> list[Any]:
-        return [v for v in self._values if not _types.is_missing(v)]
+        return self._data[~self._mask].tolist()
 
     def fill_missing(self, value: Any) -> "Column":
-        filled = [value if _types.is_missing(v) else v for v in self._values]
+        filled = [value if v is None else v for v in self.values()]
         return Column(self.name, filled)
 
     # ------------------------------------------------------------------
@@ -123,32 +248,64 @@ class Column:
         String/bool columns are returned as object arrays with None kept.
         """
         if self.is_numeric():
-            return np.array(
-                [np.nan if _types.is_missing(v) else float(v) for v in self._values],
-                dtype=float,
-            )
-        return np.array(self._values, dtype=object)
+            out = self._data.astype(float)
+            if self._mask.any():
+                out[self._mask] = np.nan
+            return out
+        out = np.empty(len(self._data), dtype=object)
+        out[:] = self.values()
+        return out
 
     def unique(self) -> list[Any]:
         """Distinct non-missing values in first-seen order."""
-        seen: dict[Any, None] = {}
-        for value in self._values:
-            if _types.is_missing(value):
-                continue
-            if value not in seen:
-                seen[value] = None
-        return list(seen)
+        valid = self._data[~self._mask]
+        if valid.size == 0:
+            return []
+        _, first_index = np.unique(valid, return_index=True)
+        return valid[np.sort(first_index)].tolist()
 
     def value_counts(self) -> Counter:
         """Counter of non-missing values."""
-        return Counter(v for v in self._values if not _types.is_missing(v))
+        return Counter(self.non_missing())
+
+    def codes(self) -> tuple[np.ndarray, int]:
+        """Factorize into dense integer group codes.
+
+        Returns ``(codes, n_groups)`` where equal non-missing values share
+        one code (numeric codes follow the values' sort order, object
+        codes first-seen order) and missing cells — which group together,
+        matching the sequence-API semantics of ``None == None`` — share
+        the single highest code. The result is cached (and invalidated by
+        :meth:`set`); callers must not mutate the returned array.
+        """
+        if self._codes_cache is not None:
+            return self._codes_cache
+        n = len(self._data)
+        codes = np.empty(n, dtype=np.int64)
+        valid = ~self._mask
+        n_groups = 0
+        if valid.any():
+            payload = self._data[valid]
+            if payload.dtype == object:
+                inverse, n_groups = _types.factorize_objects(payload)
+                codes[valid] = inverse
+            else:
+                _, inverse = np.unique(payload, return_inverse=True)
+                codes[valid] = inverse
+                n_groups = int(inverse.max()) + 1
+        if self._mask.any():
+            codes[self._mask] = n_groups
+            n_groups += 1
+        self._codes_cache = (codes, n_groups)
+        return self._codes_cache
 
     def map(self, func: Callable[[Any], Any]) -> "Column":
         """Apply ``func`` to non-missing cells; missing cells stay missing."""
-        mapped = [
-            None if _types.is_missing(v) else func(v) for v in self._values
-        ]
+        mapped = [None if v is None else func(v) for v in self.values()]
         return Column(self.name, mapped)
 
     def take(self, indices: Sequence[int]) -> "Column":
-        return Column(self.name, [self._values[i] for i in indices], self.dtype)
+        idx = np.asarray(indices, dtype=np.intp)
+        return Column._from_arrays(
+            self.name, self.dtype, self._data[idx], self._mask[idx]
+        )

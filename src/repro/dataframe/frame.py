@@ -12,7 +12,6 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from . import types as _types
 from .column import Column
 
 Cell = tuple[int, str]
@@ -207,17 +206,72 @@ class DataFrame:
     # ------------------------------------------------------------------
     def take(self, indices: Sequence[int]) -> "DataFrame":
         """Return the rows at ``indices`` in the given order."""
-        for index in indices:
-            if not 0 <= index < self.num_rows:
-                raise IndexError(f"row {index} out of range")
-        return DataFrame(col.take(indices) for col in self._columns.values())
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self.num_rows):
+            raise IndexError(f"row index out of range for {self.num_rows} rows")
+        return DataFrame(col.take(idx) for col in self._columns.values())
 
     def filter(self, mask: Sequence[bool]) -> "DataFrame":
         """Return rows where the boolean mask is True."""
         if len(mask) != self.num_rows:
             raise ValueError("mask length must equal number of rows")
-        indices = [i for i, keep in enumerate(mask) if keep]
-        return self.take(indices)
+        return self.select(np.fromiter((bool(k) for k in mask), dtype=bool,
+                                       count=self.num_rows))
+
+    def select(self, mask: np.ndarray) -> "DataFrame":
+        """Boolean-mask row selection — the vectorized fast path.
+
+        ``mask`` must be a boolean array of length ``num_rows``; each
+        column is sliced in one numpy operation without materializing
+        Python row objects.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_rows,):
+            raise ValueError("mask length must equal number of rows")
+        return DataFrame(
+            Column._from_arrays(
+                col.name,
+                col.dtype,
+                col.values_array()[mask],
+                col.mask()[mask],
+            )
+            for col in self._columns.values()
+        )
+
+    def column_codes(
+        self, columns: Sequence[str] | None = None, dense: bool = True
+    ) -> tuple[np.ndarray, int]:
+        """Integer row-group codes over a set of columns.
+
+        Returns ``(codes, n_groups)`` where two rows share a code exactly
+        when they agree (None matching None) on every listed column — the
+        vectorized equivalent of grouping by the tuple of cell values. An
+        empty column list puts every row in one group.
+
+        With ``dense=True`` codes are re-encoded to ``0..n_groups-1``.
+        ``dense=False`` skips that extra sort: codes are merely distinct
+        per group and ``n_groups`` is an upper bound on their range —
+        enough for grouping/duplicate detection consumers.
+        """
+        names = list(columns) if columns is not None else self.column_names
+        n = self.num_rows
+        if not names:
+            return np.zeros(n, dtype=np.int64), 1 if n else 0
+        codes, span = self.column(names[0]).codes()
+        for name in names[1:]:
+            extra, extra_span = self.column(name).codes()
+            if extra_span and span > (2**62) // max(extra_span, 1):
+                # Composite key would overflow int64 — re-densify first.
+                uniques, inverse = np.unique(codes, return_inverse=True)
+                codes = inverse.astype(np.int64, copy=False)
+                span = len(uniques)
+            codes = codes * extra_span + extra
+            span = span * extra_span
+        if dense and len(names) > 1:
+            uniques, inverse = np.unique(codes, return_inverse=True)
+            codes = inverse.astype(np.int64, copy=False)
+            span = len(uniques)
+        return codes, span
 
     def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "DataFrame":
         mask = [bool(predicate(row)) for row in self.iter_rows()]
@@ -244,9 +298,8 @@ class DataFrame:
     def missing_cells(self) -> set[Cell]:
         cells: set[Cell] = set()
         for name, col in self._columns.items():
-            for row, missing in enumerate(col.is_missing()):
-                if missing:
-                    cells.add((row, name))
+            for row in np.flatnonzero(col.mask()).tolist():
+                cells.add((row, name))
         return cells
 
     def missing_count(self) -> int:
@@ -254,12 +307,10 @@ class DataFrame:
 
     def drop_missing_rows(self, subset: Sequence[str] | None = None) -> "DataFrame":
         names = list(subset) if subset is not None else self.column_names
-        mask = []
-        for i in range(self.num_rows):
-            mask.append(
-                all(not _types.is_missing(self.at(i, n)) for n in names)
-            )
-        return self.filter(mask)
+        keep = np.ones(self.num_rows, dtype=bool)
+        for name in names:
+            keep &= ~self.column(name).mask()
+        return self.select(keep)
 
     # ------------------------------------------------------------------
     # Numpy export
@@ -276,15 +327,13 @@ class DataFrame:
     # ------------------------------------------------------------------
     def duplicate_row_indices(self) -> list[int]:
         """Indices of rows that repeat an earlier row exactly."""
-        seen: set[tuple[Any, ...]] = set()
-        duplicates = []
-        for i in range(self.num_rows):
-            key = self.row_tuple(i)
-            if key in seen:
-                duplicates.append(i)
-            else:
-                seen.add(key)
-        return duplicates
+        if self.num_rows == 0 or self.num_columns == 0:
+            return []
+        codes, _ = self.column_codes(dense=False)
+        _, first_index = np.unique(codes, return_index=True)
+        is_first = np.zeros(self.num_rows, dtype=bool)
+        is_first[first_index] = True
+        return np.flatnonzero(~is_first).tolist()
 
     def concat_rows(self, other: "DataFrame") -> "DataFrame":
         """Stack another frame with identical columns underneath this one."""

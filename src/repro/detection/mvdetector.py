@@ -4,9 +4,19 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..dataframe import Cell, DataFrame
 from ..dataframe.types import NULL_TOKENS
 from .base import DetectionContext, Detector
+
+
+def _unique_with_codes(column, codes: np.ndarray):
+    """Yield one (value, code) representative per distinct value code."""
+    _, first_indices = np.unique(codes, return_index=True)
+    data = column.values_array()
+    for index in first_indices.tolist():
+        yield data[index], int(codes[index])
 
 
 class MVDetector(Detector):
@@ -33,10 +43,19 @@ class MVDetector(Detector):
         cells: set[Cell] = set()
         for name in frame.column_names:
             column = frame.column(name)
-            for row, value in enumerate(column):
-                if value is None:
-                    cells.add((row, name))
-                elif isinstance(value, str) and value.strip().lower() in self.null_tokens:
-                    cells.add((row, name))
+            flagged = np.asarray(column.mask()).copy()
+            if column.dtype == "string" and len(column):
+                # Test each *distinct* value once against the null tokens
+                # and broadcast the verdict back through the value codes.
+                codes, n_groups = column.codes()
+                bad = np.zeros(n_groups, dtype=bool)
+                for value, code in _unique_with_codes(column, codes):
+                    bad[code] = (
+                        isinstance(value, str)
+                        and value.strip().lower() in self.null_tokens
+                    )
+                flagged |= bad[codes]
+            for row in np.flatnonzero(flagged).tolist():
+                cells.add((row, name))
         scores = {cell: 1.0 for cell in cells}
         return cells, scores, {}

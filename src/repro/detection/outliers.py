@@ -32,17 +32,18 @@ class SDDetector(Detector):
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            values = column.to_numpy()
-            finite = values[~np.isnan(values)]
+            mask = column.mask()
+            finite = column.values_array()[~mask].astype(float)
             if len(finite) < 3:
                 continue
             mean = float(np.mean(finite))
             std = float(np.std(finite))
             if std == 0.0:
                 continue
-            z = np.abs(values - mean) / std
-            for row in np.flatnonzero(z > self.k):
-                cell = (int(row), name)
+            z = np.abs(column.values_array().astype(float) - mean) / std
+            flagged = (z > self.k) & ~mask
+            for row in np.flatnonzero(flagged).tolist():
+                cell = (row, name)
                 cells.add(cell)
                 scores[cell] = float(z[row])
         return cells, scores, {"columns_checked": list(names)}
@@ -70,8 +71,9 @@ class IQRDetector(Detector):
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            values = column.to_numpy()
-            finite = values[~np.isnan(values)]
+            mask = column.mask()
+            values = column.values_array().astype(float)
+            finite = values[~mask]
             if len(finite) < 4:
                 continue
             q1, q3 = np.quantile(finite, [0.25, 0.75])
@@ -80,10 +82,10 @@ class IQRDetector(Detector):
                 continue
             low = q1 - self.factor * iqr
             high = q3 + self.factor * iqr
-            outside = (values < low) | (values > high)
-            for row in np.flatnonzero(outside):
-                cell = (int(row), name)
+            outside = ((values < low) | (values > high)) & ~mask
+            distances = np.maximum(low - values, values - high) / iqr
+            for row in np.flatnonzero(outside).tolist():
+                cell = (row, name)
                 cells.add(cell)
-                distance = max(low - values[row], values[row] - high)
-                scores[cell] = float(distance / iqr)
+                scores[cell] = float(distances[row])
         return cells, scores, {"columns_checked": list(names)}

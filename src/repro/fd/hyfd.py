@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dataframe import DataFrame
+from ..dataframe.types import pack_bool_rows
 from .partition import StrippedPartition
 from .rules import FunctionalDependency
 
@@ -43,7 +44,14 @@ def hyfd(
         return result
     limit = len(attributes) - 1 if max_lhs_size is None else max_lhs_size
 
-    agree_sets = _sample_agree_sets(frame, attributes, sample_pairs, seed)
+    # Dense per-attribute value codes: row pairs agree on an attribute
+    # exactly when their codes match (missing groups with missing), so the
+    # sampling and validation phases run on integer arrays only.
+    code_matrix = np.column_stack(
+        [frame.column(attribute).codes()[0] for attribute in attributes]
+    )
+
+    agree_sets = _sample_agree_sets(code_matrix, attributes, sample_pairs, seed)
     result.sampled_pairs = len(agree_sets)
 
     # candidates[A] is an antichain of minimal LHS candidates for A.
@@ -51,18 +59,20 @@ def hyfd(
     for agree in agree_sets:
         _apply_non_fd(candidates, agree, attributes, limit)
 
+    attribute_index = {a: i for i, a in enumerate(attributes)}
     partitions: dict[AttrSet, StrippedPartition] = {}
     changed = True
     while changed:
         changed = False
         result.refinement_rounds += 1
         for dependent in attributes:
+            dep_codes = code_matrix[:, attribute_index[dependent]]
             for lhs in sorted(candidates[dependent], key=lambda s: (len(s), sorted(s))):
-                violation = _find_violation(frame, lhs, dependent, partitions)
+                violation = _find_violation(frame, lhs, dep_codes, partitions)
                 result.validations += 1
                 if violation is None:
                     continue
-                agree = _agree_set(frame, attributes, *violation)
+                agree = _agree_set(code_matrix, attributes, *violation)
                 _apply_non_fd(candidates, agree, attributes, limit)
                 changed = True
                 break  # candidate set for this RHS changed; revisit fresh
@@ -88,39 +98,65 @@ def discover_fds_hyfd(
 # Sampling phase
 # ----------------------------------------------------------------------
 def _sample_agree_sets(
-    frame: DataFrame, attributes: list[str], sample_pairs: int, seed: int
+    code_matrix: np.ndarray, attributes: list[str], sample_pairs: int, seed: int
 ) -> list[AttrSet]:
     """Agree sets from neighbouring rows under per-attribute sort orders.
 
     Sorting by one attribute clusters equal values next to each other, so
     neighbour pairs are likely to agree somewhere — exactly the focused
-    sampling HyFD uses to find informative non-FD evidence fast.
+    sampling HyFD uses to find informative non-FD evidence fast. Sorting
+    happens on the dense value codes (missing codes sort last), keeping
+    the whole phase in integer array space.
     """
     rng = np.random.default_rng(seed)
-    agree_sets: set[AttrSet] = set()
-    n = frame.num_rows
-    per_attribute = max(8, sample_pairs // max(1, len(attributes)))
-    for attribute in attributes:
-        values = frame.column(attribute).values()
-        order = sorted(range(n), key=lambda i: (values[i] is None, str(values[i])))
-        pairs = min(per_attribute, n - 1)
-        if pairs <= 0:
-            continue
+    n, n_attrs = code_matrix.shape
+    per_attribute = max(8, sample_pairs // max(1, n_attrs))
+    pairs = min(per_attribute, n - 1)
+    if pairs <= 0 or n_attrs == 0:
+        return []
+    lefts_parts = []
+    rights_parts = []
+    for column_index in range(n_attrs):
+        order = np.argsort(code_matrix[:, column_index], kind="stable")
         picks = rng.choice(n - 1, size=pairs, replace=False)
-        for pick in picks:
-            left, right = order[int(pick)], order[int(pick) + 1]
-            agree = _agree_set(frame, attributes, left, right)
-            if len(agree) < len(attributes):
-                agree_sets.add(agree)
+        lefts_parts.append(order[picks])
+        rights_parts.append(order[picks + 1])
+    lefts = np.concatenate(lefts_parts)
+    rights = np.concatenate(rights_parts)
+    agreement = code_matrix[lefts] == code_matrix[rights]
+    agree_sets: set[AttrSet] = set()
+    packed = pack_bool_rows(agreement)
+    if packed is not None:
+        # Pack each pair's agreement pattern into one int and dedupe the
+        # ints before building frozensets — most sampled pairs repeat a
+        # handful of patterns.
+        keys, _ = packed
+        full = (np.int64(1) << np.int64(n_attrs)) - 1
+        for key in np.unique(keys).tolist():
+            if key == full:
+                continue
+            agree_sets.add(
+                frozenset(
+                    a for j, a in enumerate(attributes) if (key >> j) & 1
+                )
+            )
+    else:
+        for row_agreement in agreement:
+            if row_agreement.all():
+                continue
+            agree_sets.add(
+                frozenset(
+                    a for a, same in zip(attributes, row_agreement) if same
+                )
+            )
     return sorted(agree_sets, key=lambda s: (len(s), sorted(s)))
 
 
 def _agree_set(
-    frame: DataFrame, attributes: list[str], left: int, right: int
+    code_matrix: np.ndarray, attributes: list[str], left: int, right: int
 ) -> AttrSet:
-    return frozenset(
-        a for a in attributes if frame.at(left, a) == frame.at(right, a)
-    )
+    same = code_matrix[left] == code_matrix[right]
+    return frozenset(a for a, match in zip(attributes, same) if match)
 
 
 # ----------------------------------------------------------------------
@@ -175,21 +211,15 @@ def _minimize(sets: set[AttrSet]) -> set[AttrSet]:
 def _find_violation(
     frame: DataFrame,
     lhs: AttrSet,
-    dependent: str,
+    dep_codes: np.ndarray,
     partitions: dict[AttrSet, StrippedPartition],
 ) -> tuple[int, int] | None:
-    """Return one violating row pair for ``lhs -> dependent``, else None."""
+    """Return one violating row pair for ``lhs -> dependent``, else None.
+
+    ``dep_codes`` are the dependent attribute's dense value codes; a class
+    violates the FD exactly when it spans more than one code.
+    """
     key = frozenset(lhs)
     if key not in partitions:
         partitions[key] = StrippedPartition.from_columns(frame, sorted(lhs))
-    for group in partitions[key].classes:
-        first_by_token: dict[object, int] = {}
-        for row in group:
-            value = frame.at(row, dependent)
-            token = ("__missing__",) if value is None else value
-            if token not in first_by_token:
-                if first_by_token:
-                    other_row = next(iter(first_by_token.values()))
-                    return (other_row, row)
-                first_by_token[token] = row
-    return None
+    return partitions[key].violation_pair(dep_codes)

@@ -10,14 +10,20 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..dataframe import DataFrame
-from .partition import StrippedPartition
+from .partition import StrippedPartition, error_from_columns
 from .rules import FunctionalDependency
 
 AttrSet = frozenset[str]
 
 
 class TaneResult:
-    """Discovered minimal FDs plus search statistics."""
+    """Discovered minimal FDs plus search statistics.
+
+    ``partitions_computed`` counts lattice nodes whose partition *or*
+    stripped error was evaluated — the hybrid refinement may satisfy a
+    node with an error-only kernel instead of materializing its classes,
+    but the node still cost one refinement evaluation.
+    """
 
     def __init__(self) -> None:
         self.dependencies: list[FunctionalDependency] = []
@@ -55,10 +61,11 @@ def tane(
     partitions: dict[AttrSet, StrippedPartition] = {
         frozenset(): StrippedPartition.from_columns(frame, [])
     }
+    errors: dict[AttrSet, int] = {frozenset(): partitions[frozenset()].error}
     for attribute in attributes:
-        partitions[frozenset([attribute])] = StrippedPartition.from_column(
-            frame, attribute
-        )
+        partition = StrippedPartition.from_column(frame, attribute)
+        partitions[frozenset([attribute])] = partition
+        errors[frozenset([attribute])] = partition.error
         result.partitions_computed += 1
 
     # C+(X): rhs candidates. C+(∅) = R.
@@ -68,9 +75,19 @@ def tane(
     while level and result.levels_explored < limit:
         result.levels_explored += 1
         _compute_candidates(level, rhs_candidates)
-        _compute_dependencies(level, rhs_candidates, partitions, schema, result)
-        level = _prune(level, rhs_candidates, partitions, schema, result)
-        level = _generate_next_level(level, partitions, result)
+        _compute_dependencies(level, rhs_candidates, errors, schema, result)
+        level = _prune(level, rhs_candidates, errors, schema, result)
+        # Partitions for the generated level are only needed if the loop
+        # will explore it — and the deepest explored level only ever
+        # reads the error integer, never the classes, so its products
+        # run in cheap error-only mode.
+        if result.levels_explored >= limit:
+            mode = "skip"
+        elif result.levels_explored + 1 >= limit:
+            mode = "error_only"
+        else:
+            mode = "full"
+        level = _generate_next_level(frame, level, partitions, errors, result, mode)
     return result
 
 
@@ -95,14 +112,14 @@ def _compute_candidates(
 def _compute_dependencies(
     level: list[AttrSet],
     rhs_candidates: dict[AttrSet, AttrSet],
-    partitions: dict[AttrSet, StrippedPartition],
+    errors: dict[AttrSet, int],
     schema: AttrSet,
     result: TaneResult,
 ) -> None:
     for subset in level:
         for attribute in sorted(subset & rhs_candidates[subset]):
             lhs = subset - {attribute}
-            if partitions[lhs].error == partitions[subset].error:
+            if errors[lhs] == errors[subset]:
                 result.add(lhs, attribute)
                 rhs_candidates[subset] = rhs_candidates[subset] - {attribute}
                 rhs_candidates[subset] = rhs_candidates[subset] - (schema - subset)
@@ -111,7 +128,7 @@ def _compute_dependencies(
 def _prune(
     level: list[AttrSet],
     rhs_candidates: dict[AttrSet, AttrSet],
-    partitions: dict[AttrSet, StrippedPartition],
+    errors: dict[AttrSet, int],
     schema: AttrSet,
     result: TaneResult,
 ) -> list[AttrSet]:
@@ -127,7 +144,7 @@ def _prune(
     for subset in level:
         if not rhs_candidates[subset]:
             continue
-        if partitions[subset].is_superkey():
+        if errors[subset] == 0:
             for attribute in sorted(rhs_candidates[subset] - subset):
                 smaller = found.get(attribute, [])
                 if not any(lhs <= subset for lhs in smaller):
@@ -139,11 +156,20 @@ def _prune(
 
 
 def _generate_next_level(
+    frame: DataFrame,
     level: list[AttrSet],
     partitions: dict[AttrSet, StrippedPartition],
+    errors: dict[AttrSet, int],
     result: TaneResult,
+    mode: str = "full",
 ) -> list[AttrSet]:
-    """Apriori-style candidate generation with partition products."""
+    """Apriori-style candidate generation with partition products.
+
+    ``mode`` controls how much work each generated union costs: ``full``
+    materializes the refined partition (needed to build deeper levels),
+    ``error_only`` computes just ``e(pi)`` (enough to explore the final
+    level), and ``skip`` computes nothing (the level is never explored).
+    """
     level_set = set(level)
     next_level: list[AttrSet] = []
     seen: set[AttrSet] = set()
@@ -161,11 +187,30 @@ def _generate_next_level(
             ):
                 seen.add(union)
                 next_level.append(union)
-                if union not in partitions:
-                    partitions[union] = partitions[frozenset(left)].product(
-                        partitions[frozenset(right)]
-                    )
-                    result.partitions_computed += 1
+                if mode == "skip" or union in errors:
+                    continue
+                # Hybrid refinement: when both parents are materialized
+                # and their stripped classes are small, the pairwise
+                # product is cheapest (and worth materializing for deeper
+                # levels). Otherwise grouping the cached column codes
+                # directly beats scattering large owner arrays — those
+                # unions stay unmaterialized and their supersets fall
+                # back to code grouping too.
+                left_part = partitions.get(frozenset(left))
+                right_part = partitions.get(frozenset(right))
+                small = (
+                    left_part is not None
+                    and right_part is not None
+                    and left_part.size + right_part.size <= frame.num_rows
+                )
+                if small and mode == "full":
+                    partitions[union] = left_part.product(right_part)
+                    errors[union] = partitions[union].error
+                elif small:
+                    errors[union] = left_part.product_error(right_part)
+                else:
+                    errors[union] = error_from_columns(frame, union)
+                result.partitions_computed += 1
     return next_level
 
 

@@ -24,6 +24,10 @@ SUSPICIOUS_SENTINEL = "suspicious_sentinel"
 #: Numeric values that frequently disguise missing data.
 SENTINEL_VALUES = (-1.0, 0.0, 9999.0, 99999.0)
 
+#: Default |r| above which two columns are flagged as highly correlated —
+#: shared with profile(), which precomputes the pairs from its own matrix.
+CORRELATION_ALERT_THRESHOLD = 0.95
+
 
 @dataclass(frozen=True)
 class Alert:
@@ -49,17 +53,33 @@ def generate_alerts(
     cardinality_threshold: float = 0.5,
     skew_threshold: float = 3.0,
     zeros_threshold: float = 0.25,
-    correlation_threshold: float = 0.95,
+    correlation_threshold: float = CORRELATION_ALERT_THRESHOLD,
     imbalance_threshold: float = 0.9,
     sentinel_threshold: float = 0.01,
+    column_summaries: dict[str, dict[str, Any]] | None = None,
+    duplicate_rows: list[int] | None = None,
+    correlation_pairs: list[tuple[str, str, float]] | None = None,
 ) -> list[Alert]:
-    """Scan a frame and produce quality alerts."""
-    alerts: list[Alert] = []
-    for name in frame.column_names:
-        summary = column_summary(frame.column(name))
-        alerts.extend(_column_alerts(name, summary, frame.num_rows, locals()))
+    """Scan a frame and produce quality alerts.
 
-    duplicates = frame.duplicate_row_indices()
+    ``column_summaries`` / ``duplicate_rows`` let callers that already
+    profiled the frame (e.g. :func:`repro.profiling.report.profile`) skip
+    recomputing them.
+    """
+    alerts: list[Alert] = []
+    thresholds = dict(locals())
+    for name in frame.column_names:
+        if column_summaries is not None and name in column_summaries:
+            summary = column_summaries[name]
+        else:
+            summary = column_summary(frame.column(name))
+        alerts.extend(_column_alerts(name, summary, frame.num_rows, thresholds))
+
+    duplicates = (
+        duplicate_rows
+        if duplicate_rows is not None
+        else frame.duplicate_row_indices()
+    )
     if duplicates:
         alerts.append(
             Alert(
@@ -69,9 +89,11 @@ def generate_alerts(
                 {"rows": duplicates[:50], "count": len(duplicates)},
             )
         )
-    for left, right, value in highly_correlated_pairs(
-        frame, threshold=correlation_threshold
-    ):
+    if correlation_pairs is None:
+        correlation_pairs = highly_correlated_pairs(
+            frame, threshold=correlation_threshold
+        )
+    for left, right, value in correlation_pairs:
         alerts.append(
             Alert(
                 HIGH_CORRELATION,

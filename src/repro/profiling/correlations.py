@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..dataframe import DataFrame
+from ..dataframe.types import factorize_objects
 
 
 def pearson(x: np.ndarray, y: np.ndarray) -> float:
@@ -22,21 +23,22 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
 
 
 def _rank(values: np.ndarray) -> np.ndarray:
-    """Average ranks (ties share the mean of their rank block)."""
+    """Average ranks (ties share the mean of their rank block), vectorized."""
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=float)
     order = np.argsort(values, kind="stable")
-    ranks = np.empty(len(values), dtype=float)
-    i = 0
-    while i < len(values):
-        j = i
-        while (
-            j + 1 < len(values)
-            and values[order[j + 1]] == values[order[i]]
-        ):
-            j += 1
-        average = (i + j) / 2.0 + 1.0
-        for k in range(i, j + 1):
-            ranks[order[k]] = average
-        i = j + 1
+    sorted_values = values[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=is_start[1:])
+    group_ids = np.cumsum(is_start) - 1
+    starts = np.flatnonzero(is_start)
+    ends = np.append(starts[1:], n)
+    # Block of tied positions [start, end) shares rank (start+end-1)/2 + 1.
+    block_rank = (starts + ends - 1) / 2.0 + 1.0
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = block_rank[group_ids]
     return ranks
 
 
@@ -49,21 +51,37 @@ def spearman(x: np.ndarray, y: np.ndarray) -> float:
 
 
 def cramers_v(left: list, right: list) -> float:
-    """Cramér's V between two categorical columns (bias-corrected)."""
-    pairs = [
-        (l, r) for l, r in zip(left, right) if l is not None and r is not None
-    ]
-    if len(pairs) < 2:
+    """Cramér's V between two categorical columns (bias-corrected).
+
+    The contingency table is built with one factorization per side and a
+    single ``bincount`` over composite codes; chi-square is permutation
+    invariant, so level order does not matter.
+    """
+    left_arr = np.asarray(left, dtype=object)
+    right_arr = np.asarray(right, dtype=object)
+    keep = np.fromiter(
+        (l is not None and r is not None for l, r in zip(left, right)),
+        dtype=bool,
+        count=len(left_arr),
+    )
+    if int(keep.sum()) < 2:
         return 0.0
-    left_levels = sorted({l for l, _ in pairs}, key=str)
-    right_levels = sorted({r for _, r in pairs}, key=str)
-    if len(left_levels) < 2 or len(right_levels) < 2:
+    left_codes, n_left = factorize_objects(left_arr[keep])
+    right_codes, n_right = factorize_objects(right_arr[keep])
+    return _cramers_from_codes(left_codes, n_left, right_codes, n_right)
+
+
+def _cramers_from_codes(
+    left_codes: np.ndarray, n_left: int, right_codes: np.ndarray, n_right: int
+) -> float:
+    """Bias-corrected Cramér's V from dense level codes (no missing)."""
+    if n_left < 2 or n_right < 2:
         return 0.0
-    left_index = {level: i for i, level in enumerate(left_levels)}
-    right_index = {level: i for i, level in enumerate(right_levels)}
-    table = np.zeros((len(left_levels), len(right_levels)))
-    for l, r in pairs:
-        table[left_index[l], right_index[r]] += 1
+    table = (
+        np.bincount(left_codes * n_right + right_codes, minlength=n_left * n_right)
+        .reshape(n_left, n_right)
+        .astype(float)
+    )
     n = table.sum()
     expected = np.outer(table.sum(axis=1), table.sum(axis=0)) / n
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -81,21 +99,61 @@ def cramers_v(left: list, right: list) -> float:
     return float(np.sqrt(phi2_corrected / denominator))
 
 
+def _compress_codes(codes: np.ndarray, n_groups: int) -> tuple[np.ndarray, int]:
+    """Re-densify codes after filtering may have emptied some levels."""
+    counts = np.bincount(codes, minlength=n_groups)
+    present = counts > 0
+    remap = np.cumsum(present) - 1
+    return remap[codes], int(present.sum())
+
+
+def _pearson_core(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Pearson over already-aligned, nan-free samples."""
+    std_x = np.std(xs)
+    std_y = np.std(ys)
+    if std_x == 0.0 or std_y == 0.0:
+        return 0.0
+    return float(np.mean((xs - xs.mean()) * (ys - ys.mean())) / (std_x * std_y))
+
+
 def correlation_matrix(
     frame: DataFrame, method: str = "pearson"
 ) -> tuple[list[str], np.ndarray]:
-    """Numeric correlation matrix by Pearson or Spearman."""
+    """Numeric correlation matrix by Pearson or Spearman.
+
+    Validity masks are computed once per column, and Spearman ranks are
+    cached per column and reused for every pair without missing values —
+    only pairwise-incomplete pairs pay for a re-rank.
+    """
     if method not in ("pearson", "spearman"):
         raise ValueError("method must be 'pearson' or 'spearman'")
     names = frame.numeric_column_names()
-    measure = pearson if method == "pearson" else spearman
     arrays = {name: frame.column(name).to_numpy() for name in names}
+    valid = {name: ~np.isnan(arrays[name]) for name in names}
+    full_ranks: dict[str, np.ndarray] = {}
+    if method == "spearman":
+        full_ranks = {
+            name: _rank(arrays[name])
+            for name in names
+            if bool(valid[name].all())
+        }
     matrix = np.eye(len(names))
     for i, a in enumerate(names):
         for j, b in enumerate(names):
             if j <= i:
                 continue
-            value = measure(arrays[a], arrays[b])
+            mask = valid[a] & valid[b]
+            if int(mask.sum()) < 2:
+                continue
+            complete = bool(mask.all())
+            if method == "pearson":
+                value = _pearson_core(arrays[a][mask], arrays[b][mask])
+            elif complete:
+                value = _pearson_core(full_ranks[a], full_ranks[b])
+            else:
+                value = _pearson_core(
+                    _rank(arrays[a][mask]), _rank(arrays[b][mask])
+                )
             matrix[i, j] = value
             matrix[j, i] = value
     return names, matrix
@@ -104,18 +162,40 @@ def correlation_matrix(
 def categorical_association_matrix(
     frame: DataFrame,
 ) -> tuple[list[str], np.ndarray]:
-    """Cramér's V matrix across categorical columns."""
+    """Cramér's V matrix across categorical columns.
+
+    Runs on the columns' cached integer codes and null masks; each pair
+    costs one boolean filter, two code compressions, and one bincount.
+    """
     names = frame.categorical_column_names()
-    columns = {name: frame.column(name).values() for name in names}
+    codes = {name: frame.column(name).codes() for name in names}
+    masks = {name: np.asarray(frame.column(name).mask()) for name in names}
     matrix = np.eye(len(names))
     for i, a in enumerate(names):
         for j, b in enumerate(names):
             if j <= i:
                 continue
-            value = cramers_v(columns[a], columns[b])
+            keep = ~(masks[a] | masks[b])
+            if int(keep.sum()) < 2:
+                continue
+            left_codes, n_left = _compress_codes(codes[a][0][keep], codes[a][1])
+            right_codes, n_right = _compress_codes(codes[b][0][keep], codes[b][1])
+            value = _cramers_from_codes(left_codes, n_left, right_codes, n_right)
             matrix[i, j] = value
             matrix[j, i] = value
     return names, matrix
+
+
+def pairs_from_matrix(
+    names: list[str], matrix: np.ndarray, threshold: float
+) -> list[tuple[str, str, float]]:
+    """Column pairs of an existing correlation matrix with |r| >= threshold."""
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if abs(matrix[i, j]) >= threshold:
+                pairs.append((names[i], names[j], float(matrix[i, j])))
+    return pairs
 
 
 def highly_correlated_pairs(
@@ -123,9 +203,4 @@ def highly_correlated_pairs(
 ) -> list[tuple[str, str, float]]:
     """Column pairs whose |correlation| meets the threshold."""
     names, matrix = correlation_matrix(frame, method)
-    pairs = []
-    for i in range(len(names)):
-        for j in range(i + 1, len(names)):
-            if abs(matrix[i, j]) >= threshold:
-                pairs.append((names[i], names[j], float(matrix[i, j])))
-    return pairs
+    return pairs_from_matrix(names, matrix, threshold)

@@ -11,7 +11,7 @@ from ..dataframe import Column
 
 def numeric_histogram(column: Column, bins: int = 20) -> dict[str, Any]:
     """Equal-width histogram of a numeric column's non-missing values."""
-    values = np.array([float(v) for v in column.non_missing()], dtype=float)
+    values = column.values_array()[~column.mask()].astype(float)
     if len(values) == 0:
         return {"bin_edges": [], "counts": []}
     if bins < 1:

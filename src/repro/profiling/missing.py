@@ -1,27 +1,40 @@
-"""Missing-data analysis: counts, patterns, and co-missingness."""
+"""Missing-data analysis: counts, patterns, and co-missingness.
+
+Everything here is computed from the columns' boolean null masks
+(:meth:`~repro.dataframe.Column.mask`) stacked into one matrix — no
+per-cell Python loops.
+"""
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any
 
 import numpy as np
 
 from ..dataframe import DataFrame
+from ..dataframe.types import pack_bool_rows
+
+
+def _mask_matrix(frame: DataFrame) -> np.ndarray:
+    """(n_rows, n_columns) boolean matrix of missing cells."""
+    if not frame.num_columns:
+        return np.zeros((frame.num_rows, 0), dtype=bool)
+    return np.column_stack(
+        [frame.column(name).mask() for name in frame.column_names]
+    )
 
 
 def missing_summary(frame: DataFrame) -> dict[str, Any]:
     """Overall and per-column missing-cell statistics."""
+    matrix = _mask_matrix(frame)
+    column_counts = matrix.sum(axis=0)
     per_column = {
-        name: frame.column(name).missing_count() for name in frame.column_names
+        name: int(count)
+        for name, count in zip(frame.column_names, column_counts)
     }
     total_cells = frame.num_rows * frame.num_columns
-    total_missing = sum(per_column.values())
-    rows_with_missing = sum(
-        1
-        for i in range(frame.num_rows)
-        if any(frame.at(i, name) is None for name in frame.column_names)
-    )
+    total_missing = int(column_counts.sum())
+    rows_with_missing = int(matrix.any(axis=1).sum())
     return {
         "total_cells": total_cells,
         "missing_cells": total_missing,
@@ -40,17 +53,39 @@ def missing_patterns(frame: DataFrame, top_k: int = 10) -> list[dict[str, Any]]:
     """Most frequent row-level missingness patterns.
 
     A pattern is the tuple of column names missing in a row; the empty
-    pattern (complete rows) is included.
+    pattern (complete rows) is included. Patterns are ranked by count,
+    ties broken by first occurrence — the same order a Counter built row
+    by row would produce.
     """
-    patterns: Counter = Counter()
-    for i in range(frame.num_rows):
-        missing = tuple(
-            name for name in frame.column_names if frame.at(i, name) is None
+    matrix = _mask_matrix(frame)
+    if frame.num_rows == 0:
+        return []
+    packed = pack_bool_rows(matrix) if frame.num_columns else None
+    if packed is not None:
+        # Pack each row's pattern into one int64 — much faster to group
+        # than np.unique over matrix rows.
+        keys, weights = packed
+        pattern_keys, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
         )
-        patterns[missing] += 1
+        patterns = (
+            pattern_keys[:, None] & weights[None, :]
+        ).astype(bool)
+    else:
+        patterns, inverse, counts = np.unique(
+            matrix, axis=0, return_inverse=True, return_counts=True
+        )
+    inverse = inverse.reshape(-1)
+    first_seen = np.full(len(patterns), frame.num_rows, dtype=np.int64)
+    np.minimum.at(first_seen, inverse, np.arange(frame.num_rows))
+    order = np.lexsort((first_seen, -counts))
+    names = np.array(frame.column_names, dtype=object)
     return [
-        {"missing_columns": list(pattern), "rows": count}
-        for pattern, count in patterns.most_common(top_k)
+        {
+            "missing_columns": list(names[patterns[index]]),
+            "rows": int(counts[index]),
+        }
+        for index in order[:top_k]
     ]
 
 
@@ -61,9 +96,5 @@ def co_missingness(frame: DataFrame) -> tuple[list[str], np.ndarray]:
     holds each column's missing count.
     """
     names = frame.column_names
-    masks = {name: np.array(frame.column(name).is_missing()) for name in names}
-    matrix = np.zeros((len(names), len(names)), dtype=int)
-    for i, a in enumerate(names):
-        for j, b in enumerate(names):
-            matrix[i, j] = int(np.sum(masks[a] & masks[b]))
-    return names, matrix
+    matrix = _mask_matrix(frame).astype(np.int64)
+    return names, matrix.T @ matrix

@@ -8,8 +8,12 @@ from html import escape
 from typing import Any
 
 from ..dataframe import DataFrame
-from .alerts import Alert, generate_alerts
-from .correlations import categorical_association_matrix, correlation_matrix
+from .alerts import CORRELATION_ALERT_THRESHOLD, Alert, generate_alerts
+from .correlations import (
+    categorical_association_matrix,
+    correlation_matrix,
+    pairs_from_matrix,
+)
 from .histogram import histogram
 from .missing import missing_patterns, missing_summary
 from .stats import column_summary
@@ -82,8 +86,10 @@ def _column_html(column: dict[str, Any]) -> str:
 def profile(frame: DataFrame, histogram_bins: int = 20) -> ProfileReport:
     """Profile a frame: the automated data profiling module of Figure 1."""
     columns = []
+    summaries_by_name: dict[str, dict[str, Any]] = {}
     for name in frame.column_names:
         summary = column_summary(frame.column(name))
+        summaries_by_name[name] = summary
         summary["histogram"] = histogram(frame.column(name), bins=histogram_bins)
         columns.append(summary)
 
@@ -91,6 +97,9 @@ def profile(frame: DataFrame, histogram_bins: int = 20) -> ProfileReport:
     spearman_names, spearman_matrix = correlation_matrix(frame, "spearman")
     cramers_names, cramers_matrix = categorical_association_matrix(frame)
     duplicates = frame.duplicate_row_indices()
+    correlation_pairs = pairs_from_matrix(
+        pearson_names, pearson_matrix, CORRELATION_ALERT_THRESHOLD
+    )
 
     overview = {
         "rows": frame.num_rows,
@@ -126,5 +135,10 @@ def profile(frame: DataFrame, histogram_bins: int = 20) -> ProfileReport:
             "summary": missing_summary(frame),
             "patterns": missing_patterns(frame),
         },
-        alerts=generate_alerts(frame),
+        alerts=generate_alerts(
+            frame,
+            column_summaries=summaries_by_name,
+            duplicate_rows=duplicates,
+            correlation_pairs=correlation_pairs,
+        ),
     )

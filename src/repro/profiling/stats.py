@@ -1,4 +1,9 @@
-"""Per-column descriptive statistics for the Data Profile tab."""
+"""Per-column descriptive statistics for the Data Profile tab.
+
+All numeric measures are computed directly from the column's typed
+backing array (:meth:`~repro.dataframe.Column.values_array` plus null
+mask) — no per-cell Python casts on the hot path.
+"""
 
 from __future__ import annotations
 
@@ -15,79 +20,100 @@ def numeric_summary(column: Column) -> dict[str, Any]:
     Includes the measures ydata-profiling reports: central tendency,
     dispersion, quantiles, shape (skew/kurtosis), zeros and negatives.
     """
-    values = np.array([float(v) for v in column.non_missing()], dtype=float)
+    mask = column.mask()
+    values = column.values_array()[~mask].astype(float)
     if len(values) == 0:
         return {"count": 0}
+    count = len(values)
     quantiles = np.quantile(values, [0.05, 0.25, 0.5, 0.75, 0.95])
-    mean = float(np.mean(values))
-    std = float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+    total = float(np.sum(values))
+    mean = total / count
+    centered = values - mean
+    pop_variance = float(np.mean(centered**2))
+    pop_std = pop_variance**0.5
+    # ddof=1 needs two observations; a lone value has zero dispersion.
+    std = (pop_variance * count / (count - 1)) ** 0.5 if count > 1 else 0.0
+    minimum = float(np.min(values))
+    maximum = float(np.max(values))
+    diffs = np.diff(values)
+    zeros = int(np.sum(values == 0.0))
     return {
-        "count": int(len(values)),
+        "count": int(count),
         "mean": mean,
         "std": std,
         "variance": float(std**2),
-        "min": float(np.min(values)),
-        "max": float(np.max(values)),
-        "range": float(np.max(values) - np.min(values)),
+        "min": minimum,
+        "max": maximum,
+        "range": maximum - minimum,
         "q05": float(quantiles[0]),
         "q25": float(quantiles[1]),
         "median": float(quantiles[2]),
         "q75": float(quantiles[3]),
         "q95": float(quantiles[4]),
         "iqr": float(quantiles[3] - quantiles[1]),
-        "skewness": _skewness(values),
-        "kurtosis": _kurtosis(values),
-        "sum": float(np.sum(values)),
-        "zeros": int(np.sum(values == 0.0)),
-        "zeros_fraction": float(np.mean(values == 0.0)),
+        "skewness": _skewness(centered, pop_std),
+        "kurtosis": _kurtosis(centered, pop_std),
+        "sum": total,
+        "zeros": zeros,
+        "zeros_fraction": zeros / count,
         "negatives": int(np.sum(values < 0.0)),
-        "coefficient_of_variation": float(std / mean) if mean else float("inf"),
-        "monotonic_increasing": bool(np.all(np.diff(values) >= 0)),
-        "monotonic_decreasing": bool(np.all(np.diff(values) <= 0)),
+        "coefficient_of_variation": _coefficient_of_variation(mean, std),
+        "monotonic_increasing": bool(np.all(diffs >= 0)),
+        "monotonic_decreasing": bool(np.all(diffs <= 0)),
     }
 
 
-def _skewness(values: np.ndarray) -> float:
-    if len(values) < 3:
-        return 0.0
-    std = np.std(values)
-    if std == 0.0:
-        return 0.0
-    return float(np.mean(((values - np.mean(values)) / std) ** 3))
+def _coefficient_of_variation(mean: float, std: float) -> float:
+    """std/mean — 0.0 for dispersion-free data (even all-zero columns).
+
+    A zero mean with zero spread means every value is identical, which is
+    the *least* variable a column can be; only genuine spread around a
+    zero mean is unbounded relative variation.
+    """
+    if mean:
+        return std / mean
+    return 0.0 if std == 0.0 else float("inf")
 
 
-def _kurtosis(values: np.ndarray) -> float:
+def _skewness(centered: np.ndarray, pop_std: float) -> float:
+    if len(centered) < 3 or pop_std == 0.0:
+        return 0.0
+    return float(np.mean((centered / pop_std) ** 3))
+
+
+def _kurtosis(centered: np.ndarray, pop_std: float) -> float:
     """Excess kurtosis (normal distribution scores 0)."""
-    if len(values) < 4:
+    if len(centered) < 4 or pop_std == 0.0:
         return 0.0
-    std = np.std(values)
-    if std == 0.0:
-        return 0.0
-    return float(np.mean(((values - np.mean(values)) / std) ** 4) - 3.0)
+    return float(np.mean((centered / pop_std) ** 4) - 3.0)
 
 
 def categorical_summary(column: Column, top_k: int = 10) -> dict[str, Any]:
     """Descriptive statistics for a string/bool column."""
-    values = column.non_missing()
     counts = column.value_counts()
-    if not values:
+    total = sum(counts.values())
+    if total == 0:
         return {"count": 0, "distinct": 0}
     mode, mode_count = counts.most_common(1)[0]
-    lengths = [len(str(v)) for v in values]
+    # Length stats need one len() per distinct level, not per cell.
+    level_lengths = {value: len(str(value)) for value in counts}
+    length_sum = sum(
+        length * counts[value] for value, length in level_lengths.items()
+    )
     return {
-        "count": len(values),
+        "count": total,
         "distinct": len(counts),
-        "distinct_fraction": len(counts) / len(values),
+        "distinct_fraction": len(counts) / total,
         "mode": mode,
         "mode_count": mode_count,
-        "mode_fraction": mode_count / len(values),
+        "mode_fraction": mode_count / total,
         "top_frequencies": [
             {"value": value, "count": count}
             for value, count in counts.most_common(top_k)
         ],
-        "min_length": min(lengths),
-        "max_length": max(lengths),
-        "mean_length": float(np.mean(lengths)),
+        "min_length": min(level_lengths.values()),
+        "max_length": max(level_lengths.values()),
+        "mean_length": length_sum / total,
         "entropy": _entropy(list(counts.values())),
     }
 

@@ -81,3 +81,28 @@ class TestRefines:
         a = StrippedPartition.from_column(data, "A")
         assert ab.refines(a)
         assert not a.refines(ab)
+
+
+class TestGeneratorInput:
+    def test_generator_groups_are_not_dropped(self):
+        # Regression: the old __init__ measured group size with
+        # len(list(group)), consuming generator groups before sorting
+        # them — every generator-backed class was silently dropped.
+        partition = StrippedPartition(
+            (iter(group) for group in ([1, 0], [2, 3], [4])), n_rows=5
+        )
+        assert partition.classes == [[0, 1], [2, 3]]
+        assert partition.size == 4
+        assert partition.error == 2
+
+    def test_generator_of_generators_matches_lists(self):
+        from_lists = StrippedPartition([[0, 1], [3, 4]], n_rows=6)
+        from_generators = StrippedPartition(
+            (iter(group) for group in ([0, 1], [3, 4])), n_rows=6
+        )
+        assert from_generators == from_lists
+
+    def test_product_accepts_generator_built_partitions(self):
+        left = StrippedPartition((iter(g) for g in ([0, 1, 2, 3],)), n_rows=4)
+        right = StrippedPartition((iter(g) for g in ([0, 1], [2, 3])), n_rows=4)
+        assert left.product(right).classes == [[0, 1], [2, 3]]

@@ -94,3 +94,50 @@ class TestColumnSummary:
     def test_missing_fraction(self):
         summary = column_summary(Column("x", [1, None, None, 4]))
         assert summary["missing_fraction"] == pytest.approx(0.5)
+
+
+class TestNumericEdgeCases:
+    """Regressions found while vectorizing the summary kernels."""
+
+    def test_cv_all_zero_column_is_zero(self):
+        # All values identical (zero) means zero relative variation —
+        # the old implementation returned inf for any zero mean.
+        summary = numeric_summary(Column("x", [0.0, 0.0, 0.0, 0.0]))
+        assert summary["coefficient_of_variation"] == 0.0
+
+    def test_cv_zero_mean_with_spread_is_inf(self):
+        summary = numeric_summary(Column("x", [-1.0, 1.0, -2.0, 2.0]))
+        assert summary["mean"] == pytest.approx(0.0)
+        assert summary["coefficient_of_variation"] == float("inf")
+
+    def test_cv_single_zero_value(self):
+        summary = numeric_summary(Column("x", [0]))
+        assert summary["coefficient_of_variation"] == 0.0
+
+    def test_cv_nonzero_mean(self):
+        summary = numeric_summary(Column("x", [2.0, 4.0]))
+        expected = summary["std"] / summary["mean"]
+        assert summary["coefficient_of_variation"] == pytest.approx(expected)
+
+    def test_single_value_column_no_warnings(self):
+        # ddof=1 on one observation divides by zero inside numpy; the
+        # summary must special-case it silently.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = numeric_summary(Column("x", [7.5]))
+        assert summary["count"] == 1
+        assert summary["std"] == 0.0
+        assert summary["variance"] == 0.0
+        assert summary["skewness"] == 0.0
+        assert summary["kurtosis"] == 0.0
+
+    def test_single_value_after_missing_no_warnings(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = numeric_summary(Column("x", [None, 3, None]))
+        assert summary["count"] == 1
+        assert summary["std"] == 0.0
