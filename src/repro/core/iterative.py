@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from ..dataframe import DataFrame
 from ..detection import DetectionContext
 from ..ml import (
@@ -169,7 +171,12 @@ class DownstreamScorer:
 
     # ------------------------------------------------------------------
     def score(self, frame: DataFrame) -> float:
-        """Fit on the train split of ``frame``; evaluate on the test split."""
+        """Fit on the train split of ``frame``; evaluate on the test split.
+
+        Feature assembly is fully array-native: the encoder gathers
+        codes-based lookup tables and the train/test row selection runs
+        on the columns' null masks instead of per-row ``values()`` scans.
+        """
         train_idx, test_idx = self.split_for(frame)
         eval_frame = self.reference if self.reference is not None else frame
         feature_names = [n for n in frame.column_names if n != self.target]
@@ -178,28 +185,32 @@ class DownstreamScorer:
         matrix = encoder.fit_transform(frame)
         eval_matrix = encoder.transform(eval_frame)
 
-        target_values = frame.column(self.target).values()
-        train_rows = [i for i in train_idx if target_values[i] is not None]
+        target_column = frame.column(self.target)
+        train_candidates = np.asarray(train_idx, dtype=np.intp)
+        train_rows = train_candidates[~target_column.mask()[train_candidates]]
         if len(train_rows) < 10:
             return self.worst_score()
-        eval_target = eval_frame.column(self.target).values()
-        test_rows = [i for i in test_idx if eval_target[i] is not None]
-        if not test_rows:
+        eval_column = eval_frame.column(self.target)
+        test_candidates = np.asarray(test_idx, dtype=np.intp)
+        test_rows = test_candidates[~eval_column.mask()[test_candidates]]
+        if not len(test_rows):
             return self.worst_score()
 
         model = MODEL_FACTORIES[(self.task, self.model)](self.seed)
         if self.task == REGRESSION:
-            y_train = [float(target_values[i]) for i in train_rows]
+            y_train = target_column.to_numpy()[train_rows].astype(float).tolist()
             model.fit(matrix[train_rows], y_train)
             predictions = model.predict(eval_matrix[test_rows])
-            y_test = [float(eval_target[i]) for i in test_rows]
+            y_test = eval_column.to_numpy()[test_rows].astype(float).tolist()
             return mean_squared_error(y_test, predictions)
-        y_train = [str(target_values[i]) for i in train_rows]
+        target_values = target_column.values()
+        y_train = [str(target_values[i]) for i in train_rows.tolist()]
         if len(set(y_train)) < 2:
             return self.worst_score()
         model.fit(matrix[train_rows], y_train)
         predictions = model.predict(eval_matrix[test_rows])
-        y_test = [str(eval_target[i]) for i in test_rows]
+        eval_target = eval_column.values()
+        y_test = [str(eval_target[i]) for i in test_rows.tolist()]
         return macro_f1_score(y_test, predictions)
 
 

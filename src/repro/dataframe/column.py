@@ -22,7 +22,28 @@ The sequence API (``values()``, iteration, indexing, ``set``) is preserved
 exactly — it materializes Python-native values with ``None`` at masked
 slots — while vectorized consumers read :meth:`values_array`,
 :meth:`mask`, and :meth:`codes` directly and never touch per-cell Python
-objects.
+objects. Batched mutation goes through :meth:`set_many`, which writes
+whole index slices (repair application's fast path) with the same
+coercion/widening semantics as per-cell ``set``.
+
+Codes-based relational-ops contract
+-----------------------------------
+:meth:`codes` factorizes a column into dense int64 group codes; the
+relational kernels in :mod:`repro.dataframe.ops` are built entirely on
+them. The guarantees those kernels rely on:
+
+* equal non-missing cells share one code, and missing cells share the
+  single *highest* code — so ``None`` groups with ``None`` (group-by
+  semantics) and can be recognized/excluded in one comparison (join
+  semantics, where null keys never match);
+* numeric/bool columns on native numpy backing get codes in *value
+  order* (``np.unique``), so sorting codes sorts values; object-backed
+  columns get first-seen codes and the sort kernel remaps them through
+  a rank table ordered by the documented value order (numbers before
+  strings, missing last);
+* the result is cached per column and invalidated by ``set`` /
+  ``set_many``, so repeated group-by/join/sort calls over an unchanged
+  frame share one factorization.
 """
 
 from __future__ import annotations
@@ -198,6 +219,67 @@ class Column:
             self._data = self._data.astype(object)
             self._data[index] = coerced
         self._mask[index] = False
+
+    def set_many(self, indices: Sequence[int], values: Sequence[Any]) -> None:
+        """Batched :meth:`set`: overwrite many cells in one array write.
+
+        Equivalent to calling ``set(index, value)`` for each pair —
+        masked/payload slots are written as whole array slices instead
+        of per-cell Python calls, and with duplicate indices the last
+        write wins, exactly like the sequential loop. Widening takes the
+        lattice join over the column dtype and all non-missing patch
+        values at once (the join is commutative, so the outcome never
+        depends on patch order); every patch value is then coerced
+        directly to the final dtype.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        materialized = list(values)
+        if idx.size != len(materialized):
+            raise ValueError(
+                f"{idx.size} indices but {len(materialized)} values"
+            )
+        if idx.size == 0:
+            return
+        n = len(self._data)
+        if int(idx.min()) < -n or int(idx.max()) >= n:
+            raise IndexError(f"index out of range for {n} rows")
+        self._codes_cache = None
+        try:
+            coerced = [_types.coerce(v, self.dtype) for v in materialized]
+        except (ValueError, TypeError):
+            widened = self.dtype
+            for value in materialized:
+                if _types.is_missing(value):
+                    continue
+                widened = _types.common_dtype(
+                    widened, _types.infer_dtype([value])
+                )
+            full = self.values()
+            for position, value in zip(idx.tolist(), materialized):
+                full[position] = value
+            self.dtype = widened
+            self._data, self._mask = _pack(
+                [_types.coerce(v, widened) for v in full], widened
+            )
+            return
+        missing = np.fromiter(
+            (v is None for v in coerced), dtype=bool, count=idx.size
+        )
+        fill = _types.FILL_VALUES[self.dtype]
+        filled = [fill if v is None else v for v in coerced]
+        if self._data.dtype == object:
+            payload = np.empty(idx.size, dtype=object)
+            payload[:] = filled
+            self._data[idx] = payload
+        else:
+            try:
+                self._data[idx] = np.asarray(filled, dtype=self._data.dtype)
+            except OverflowError:
+                self._data = self._data.astype(object)
+                payload = np.empty(idx.size, dtype=object)
+                payload[:] = filled
+                self._data[idx] = payload
+        self._mask[idx] = missing
 
     def copy(self) -> "Column":
         return Column._from_arrays(

@@ -185,6 +185,20 @@ class DataFrame:
             raise IndexError(f"row {row} out of range for {self.num_rows} rows")
         self.column(name).set(row, value)
 
+    def set_cells(self, name: str, rows: Sequence[int], values: Sequence[Any]) -> None:
+        """Batched ``set_at`` over one column — the repair-apply fast path.
+
+        All cells are written in one vectorized slice assignment (see
+        :meth:`Column.set_many`); semantics match the per-cell loop,
+        including dtype widening.
+        """
+        row_array = np.asarray(rows, dtype=np.intp)
+        if row_array.size and (
+            int(row_array.min()) < 0 or int(row_array.max()) >= self.num_rows
+        ):
+            raise IndexError(f"row index out of range for {self.num_rows} rows")
+        self.column(name).set_many(row_array, values)
+
     def row(self, index: int) -> dict[str, Any]:
         return {name: col[index] for name, col in self._columns.items()}
 

@@ -16,6 +16,23 @@ logical      numpy backing          fill value at masked slots
 ``bool``     ``bool_``              ``False``
 ``string``   ``object``             ``None``
 ===========  =====================  ===========================
+
+Key semantics under the codes-based relational kernels
+(:mod:`repro.dataframe.ops`):
+
+* **Key ordering** — sort order is ``numbers < strings < missing``;
+  numbers compare numerically across int/float/bool (exactly, via
+  Python semantics — huge object-backed ints never collide through
+  float rounding), strings lexicographically. Ties always keep original
+  row order (stable), in both sort directions.
+* **Null keys, group-by vs join** — grouping treats ``None`` as a value
+  (``None`` matches ``None``; every missing cell of a column lands in
+  one group, marked by a private sentinel in key tuples); joining
+  follows SQL semantics instead (a row whose key tuple contains any
+  missing cell matches nothing, on either side).
+* **Cross-dtype keys** — join/group equality follows Python ``==``:
+  ``2 == 2.0 == True`` matches across numeric columns of different
+  dtypes, while strings never equal numbers.
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Feature preprocessing: encoders, scalers, and frame-to-matrix assembly."""
+"""Feature preprocessing: encoders, scalers, and frame-to-matrix assembly.
+
+``FrameEncoder`` — the hot feature-assembly path for every optimizer
+trial — encodes categorical columns through ``Column.codes()``: the
+fitted ``{value: code}`` mapping is applied once per *distinct* value to
+build a lookup table, then gathered across rows in one numpy indexing
+operation instead of a per-cell dict probe.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,7 @@ from typing import Any, Hashable, Sequence
 
 import numpy as np
 
-from ..dataframe import DataFrame, is_missing
+from ..dataframe import Column, DataFrame
 
 
 class LabelEncoder:
@@ -157,20 +164,33 @@ class FrameEncoder:
                 array = np.where(np.isnan(array), fill, array)
                 columns.append(array)
             else:
-                mapping = self._categorical[name]
-                unknown = mapping[self._MISSING]
-                encoded = np.array(
-                    [
-                        float(
-                            mapping.get(
-                                self._MISSING if is_missing(v) else v, unknown
-                            )
-                        )
-                        for v in column
-                    ]
-                )
-                columns.append(encoded)
+                columns.append(self._encode_categorical(name, column))
         return np.column_stack(columns) if columns else np.empty((frame.num_rows, 0))
+
+    def _encode_categorical(self, name: str, column: Column) -> np.ndarray:
+        """Gather the fitted value→code mapping through ``Column.codes``.
+
+        The mapping dict is probed once per distinct value (building a
+        per-code lookup table) instead of once per row; missing cells and
+        unseen values both map to the dedicated missing/unknown code.
+        """
+        mapping = self._categorical[name]
+        unknown = mapping[self._MISSING]
+        codes, n_groups = column.codes()
+        if not len(codes):
+            return np.empty(0, dtype=float)
+        mask = column.mask()
+        lookup = np.full(n_groups, float(unknown))
+        valid = ~mask
+        if valid.any():
+            payload = column.values_array()[valid]
+            valid_codes = codes[valid]
+            _, first_index = np.unique(valid_codes, return_index=True)
+            for code, value in enumerate(payload[first_index].tolist()):
+                lookup[code] = float(mapping.get(value, unknown))
+        # Missing cells share the highest code; it stays at ``unknown``,
+        # which is exactly the fitted missing slot.
+        return lookup[codes]
 
     def fit_transform(self, frame: DataFrame) -> np.ndarray:
         return self.fit(frame).transform(frame)

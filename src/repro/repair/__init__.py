@@ -1,6 +1,12 @@
 """Automated error repair tools (§3 of the paper)."""
 
-from .base import RepairResult, Repairer, group_cells_by_column, mask_cells
+from .base import (
+    RepairResult,
+    Repairer,
+    apply_patches,
+    group_cells_by_column,
+    mask_cells,
+)
 from .holoclean_repair import HoloCleanRepairer
 from .ml_imputer import MLImputer
 from .standard import DUMMY_VALUE, StandardImputer
@@ -12,6 +18,7 @@ __all__ = [
     "RepairResult",
     "Repairer",
     "StandardImputer",
+    "apply_patches",
     "group_cells_by_column",
     "mask_cells",
 ]

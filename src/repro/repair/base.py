@@ -1,33 +1,103 @@
-"""Repair interfaces: tools map detected cells to replacement values."""
+"""Repair interfaces: tools map detected cells to replacement values.
+
+Application is batched: proposed repairs are grouped per column into
+``(row_indices, values)`` patch pairs and written through
+:func:`apply_patches` → :meth:`DataFrame.set_cells` as whole array
+slices, never per-cell ``set_at`` loops. Semantics (coercion, dtype
+widening, out-of-range filtering) match the historical per-cell
+application exactly.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..dataframe import Cell, DataFrame
+
+#: Per-column batched patches: ``{column_name: (row_indices, values)}``.
+Patches = Mapping[str, tuple[Sequence[int], Sequence[Any]]]
+
+
+def apply_patches(frame: DataFrame, patches: Patches) -> None:
+    """Write batched per-column patches into ``frame`` in place.
+
+    Each column's cells are written in one vectorized slice assignment.
+    Row indices must be in range; callers filter first (see
+    :meth:`RepairResult.to_patches`).
+    """
+    for column_name, (rows, values) in patches.items():
+        frame.set_cells(column_name, rows, values)
 
 
 @dataclass
 class RepairResult:
-    """Proposed (and appliable) corrections for a set of detected cells."""
+    """Proposed (and appliable) corrections for a set of detected cells.
+
+    ``repairs`` (cell → value) is the public record; ``patches`` is the
+    same information pre-grouped per column by the producing
+    :class:`Repairer` so application skips re-parsing the cell dict.
+    """
 
     tool: str
     repairs: dict[Cell, Any]
     config: dict[str, Any] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     metadata: dict[str, Any] = field(default_factory=dict)
+    patches: dict[str, tuple[list[int], list[Any]]] | None = None
 
     def __len__(self) -> int:
         return len(self.repairs)
 
-    def apply_to(self, frame: DataFrame) -> DataFrame:
-        """Return a copy of ``frame`` with the repairs written in."""
-        repaired = frame.copy()
+    def to_patches(self, frame: DataFrame) -> dict[str, tuple[list[int], list[Any]]]:
+        """Group the repairs into per-column batched patches.
+
+        Cells outside ``frame`` are dropped (matching the historical
+        per-cell guard). Cell keys are unique, so write order within a
+        column cannot change the result.
+        """
+        num_rows = frame.num_rows
+        names = set(frame.column_names)
+        rows_by: dict[str, list[int]] = {}
+        values_by: dict[str, list[Any]] = {}
         for (row, column), value in self.repairs.items():
-            if 0 <= row < frame.num_rows and column in frame:
-                repaired.set_at(row, column, value)
+            if column in names and 0 <= row < num_rows:
+                rows = rows_by.get(column)
+                if rows is None:
+                    rows = rows_by[column] = []
+                    values_by[column] = []
+                rows.append(row)
+                values_by[column].append(value)
+        return {name: (rows_by[name], values_by[name]) for name in rows_by}
+
+    def _patches_fit(self, frame: DataFrame) -> bool:
+        """Can the precomputed patches be written to ``frame`` as-is?"""
+        if self.patches is None:
+            return False
+        for column, (rows, _) in self.patches.items():
+            if column not in frame:
+                return False
+            if rows and (min(rows) < 0 or max(rows) >= frame.num_rows):
+                return False
+        return True
+
+    def apply_to(self, frame: DataFrame) -> DataFrame:
+        """Return a copy of ``frame`` with the repairs written in.
+
+        Repairs are applied as batched per-column array writes; the
+        result is identical to the historical per-cell ``set_at`` loop.
+        The producer's precomputed patches are used when they fit the
+        frame; otherwise the cell dict is regrouped (and out-of-range
+        cells dropped, as before).
+        """
+        repaired = frame.copy()
+        patches = (
+            self.patches
+            if self._patches_fit(frame)
+            else self.to_patches(frame)
+        )
+        apply_patches(repaired, patches)
         return repaired
 
     def to_dict(self) -> dict[str, Any]:
@@ -56,7 +126,9 @@ class Repairer:
             if 0 <= row < frame.num_rows and column in frame
         }
         start = time.perf_counter()
-        repairs, metadata = self._repair(frame, wanted)
+        outcome = self._repair(frame, wanted)
+        repairs, metadata = outcome[0], outcome[1]
+        patches = outcome[2] if len(outcome) == 3 else None
         elapsed = time.perf_counter() - start
         return RepairResult(
             tool=self.name,
@@ -64,11 +136,16 @@ class Repairer:
             config=dict(self.config),
             runtime_seconds=elapsed,
             metadata=metadata,
+            patches=patches,
         )
 
-    def _repair(
-        self, frame: DataFrame, cells: set[Cell]
-    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
+        """Return ``(repairs, metadata)`` or ``(repairs, metadata, patches)``.
+
+        Subclasses that already group their work per column should return
+        the third element — ``{column: (rows, values)}`` — so application
+        skips regrouping the cell dict.
+        """
         raise NotImplementedError
 
     def describe(self) -> dict[str, Any]:
@@ -79,12 +156,16 @@ def mask_cells(frame: DataFrame, cells: Iterable[Cell]) -> DataFrame:
     """Copy of ``frame`` with the given cells blanked to missing.
 
     Repair tools call this first so that corrupted values never leak into
-    the statistics or models used to compute replacements.
+    the statistics or models used to compute replacements. Cells are
+    blanked per column in one batched mask write.
     """
     masked = frame.copy()
+    grouped: dict[str, list[int]] = {}
     for row, column in cells:
         if 0 <= row < frame.num_rows and column in frame:
-            masked.set_at(row, column, None)
+            grouped.setdefault(column, []).append(row)
+    for column, rows in grouped.items():
+        masked.set_cells(column, rows, [None] * len(rows))
     return masked
 
 

@@ -27,53 +27,80 @@ class HoloCleanRepairer(Repairer):
         self.n_bins = n_bins
         self.alpha = alpha
 
-    def _repair(
-        self, frame: DataFrame, cells: set[Cell]
-    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
         masked = mask_cells(frame, cells)
         tokenizer = HoloCleanDetector(n_bins=self.n_bins, alpha=self.alpha)
         tokens = tokenizer.tokenize(masked)
         model = CooccurrenceModel(alpha=self.alpha).fit(tokens)
         bin_values = self._bin_representatives(masked, tokens)
         repairs: dict[Cell, Any] = {}
+        patches: dict[str, tuple[list[int], list[Any]]] = {}
         for column_name, rows in group_cells_by_column(cells).items():
             column = masked.column(column_name)
             domain = sorted(model.domain(column_name), key=str)
+            column_values: list[Any] = []
             for row in rows:
                 if not domain:
-                    repairs[(row, column_name)] = self._fallback(column)
-                    continue
-                row_tokens = {
-                    name: tokens[name][row] for name in frame.column_names
-                }
-                best = max(
-                    domain,
-                    key=lambda candidate: model.log_score(
-                        column_name, candidate, row_tokens
-                    ),
-                )
-                repairs[(row, column_name)] = self._materialize(
-                    column_name, column, best, bin_values
-                )
-        return repairs, {"domain_sizes": {}}
+                    value = self._fallback(column)
+                else:
+                    row_tokens = {
+                        name: tokens[name][row] for name in frame.column_names
+                    }
+                    best = max(
+                        domain,
+                        key=lambda candidate: model.log_score(
+                            column_name, candidate, row_tokens
+                        ),
+                    )
+                    value = self._materialize(
+                        column_name, column, best, bin_values
+                    )
+                column_values.append(value)
+                repairs[(row, column_name)] = value
+            patches[column_name] = (rows, column_values)
+        return repairs, {"domain_sizes": {}}, patches
 
     # ------------------------------------------------------------------
     def _bin_representatives(
         self, frame: DataFrame, tokens: dict[str, list[Hashable]]
     ) -> dict[tuple[str, Hashable], float]:
-        """Mean observed value per (numeric column, bin token)."""
-        representatives: dict[tuple[str, Hashable], list[float]] = {}
+        """Mean observed value per (numeric column, bin token).
+
+        Tokens are factorized once per column; each bin's observations
+        are gathered with a stable sort (row order preserved) and
+        averaged with ``np.mean``, so the representatives are
+        bit-identical to the historical per-row list appends.
+        """
+        representatives: dict[tuple[str, Hashable], float] = {}
         for name in frame.numeric_column_names():
-            values = frame.column(name).values()
-            for row, token in enumerate(tokens[name]):
-                if token == _MISSING or values[row] is None:
-                    continue
-                representatives.setdefault((name, token), []).append(
-                    float(values[row])
+            column = frame.column(name)
+            column_tokens = tokens[name]
+            index: dict[Hashable, int] = {}
+            codes = np.fromiter(
+                (index.setdefault(t, len(index)) for t in column_tokens),
+                dtype=np.int64,
+                count=len(column_tokens),
+            )
+            valid = ~column.mask()
+            if _MISSING in index:
+                valid &= codes != index[_MISSING]
+            if not valid.any():
+                continue
+            data = column.values_array()[valid].astype(float)
+            bin_codes = codes[valid]
+            order = np.argsort(bin_codes, kind="stable")
+            sorted_data = data[order]
+            sorted_codes = bin_codes[order]
+            boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+            starts = np.concatenate(([0], boundaries)).tolist()
+            ends = np.concatenate((boundaries, [len(sorted_codes)])).tolist()
+            code_to_token = {code: token for token, code in index.items()}
+            for start, end in zip(starts, ends):
+                token = code_to_token[int(sorted_codes[start])]
+                representatives[(name, token)] = float(
+                    np.mean(sorted_data[start:end])
                 )
-        return {
-            key: float(np.mean(group)) for key, group in representatives.items()
-        }
+        return representatives
 
     def _materialize(
         self,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..dataframe import Cell, DataFrame
 from ..ml import DecisionTreeRegressor, FrameEncoder, KNeighborsClassifier
 from .base import Repairer, group_cells_by_column, mask_cells
@@ -39,11 +41,10 @@ class MLImputer(Repairer):
         self.min_train_rows = min_train_rows
         self.seed = seed
 
-    def _repair(
-        self, frame: DataFrame, cells: set[Cell]
-    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
         masked = mask_cells(frame, cells)
         repairs: dict[Cell, Any] = {}
+        patches: dict[str, tuple[list[int], list[Any]]] = {}
         models_used: dict[str, str] = {}
         for column_name, rows in group_cells_by_column(cells).items():
             target_column = masked.column(column_name)
@@ -52,18 +53,16 @@ class MLImputer(Repairer):
                 continue
             encoder = FrameEncoder(feature_names)
             matrix = encoder.fit_transform(masked)
-            train_rows = [
-                row
-                for row in range(frame.num_rows)
-                if target_column[row] is not None
-            ]
+            train_rows = np.flatnonzero(~target_column.mask()).tolist()
             if len(train_rows) < self.min_train_rows:
                 models_used[column_name] = "fallback_constant"
                 fallback = self._fallback(target_column)
+                patches[column_name] = (rows, [fallback] * len(rows))
                 for row in rows:
                     repairs[(row, column_name)] = fallback
                 continue
-            target_values = [target_column[row] for row in train_rows]
+            target_list = target_column.values()
+            target_values = [target_list[row] for row in train_rows]
             if target_column.is_numeric():
                 model: Any = DecisionTreeRegressor(
                     max_depth=self.tree_depth, seed=self.seed
@@ -76,12 +75,15 @@ class MLImputer(Repairer):
                 train_targets = target_values
             model.fit(matrix[train_rows], train_targets)
             predictions = model.predict(matrix[rows])
+            column_values: list[Any] = []
             for row, prediction in zip(rows, predictions):
                 value = prediction
                 if target_column.dtype == "int" and value is not None:
                     value = int(round(float(value)))
+                column_values.append(value)
                 repairs[(row, column_name)] = value
-        return repairs, {"models": models_used}
+            patches[column_name] = (rows, column_values)
+        return repairs, {"models": models_used}, patches
 
     @staticmethod
     def _fallback(column: Any) -> Any:

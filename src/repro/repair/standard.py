@@ -42,18 +42,17 @@ class StandardImputer(Repairer):
         self.categorical_strategy = categorical_strategy
         self.dummy_value = dummy_value
 
-    def _repair(
-        self, frame: DataFrame, cells: set[Cell]
-    ) -> tuple[dict[Cell, Any], dict[str, Any]]:
+    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
         masked = mask_cells(frame, cells)
         repairs: dict[Cell, Any] = {}
+        patches: dict[str, tuple[list[int], list[Any]]] = {}
         fills: dict[str, Any] = {}
         for column_name, rows in group_cells_by_column(cells).items():
             column = masked.column(column_name)
-            values = column.non_missing()
             if column.is_numeric():
-                if values:
-                    numbers = np.array([float(v) for v in values])
+                valid = ~column.mask()
+                if valid.any():
+                    numbers = column.values_array()[valid].astype(float)
                     fill = (
                         float(np.mean(numbers))
                         if self.numeric_strategy == "mean"
@@ -62,11 +61,17 @@ class StandardImputer(Repairer):
                 else:
                     fill = 0.0
             else:
+                values = column.non_missing()
                 if self.categorical_strategy == "dummy" or not values:
                     fill = self.dummy_value
                 else:
                     fill = column.value_counts().most_common(1)[0][0]
             fills[column_name] = fill
+            patches[column_name] = (rows, [fill] * len(rows))
             for row in rows:
                 repairs[(row, column_name)] = fill
-        return repairs, {"fill_values": {k: str(v) for k, v in fills.items()}}
+        return (
+            repairs,
+            {"fill_values": {k: str(v) for k, v in fills.items()}},
+            patches,
+        )

@@ -1,5 +1,7 @@
 """Relational operation tests: sort, group-by, join."""
 
+import pytest
+
 from repro.dataframe import (
     DataFrame,
     group_by,
@@ -27,6 +29,44 @@ class TestSort:
         frame = DataFrame.from_dict({"a": [1, 1, 0], "b": ["z", "a", "m"]})
         ordered = sort_by(frame, ["a", "b"])
         assert ordered.column("b").values() == ["m", "a", "z"]
+
+    def test_descending_is_stable_for_duplicate_keys(self):
+        """Tied keys keep original row order in both sort directions."""
+        frame = DataFrame.from_dict(
+            {"k": [1, 1, 2, 2, 1], "tag": ["a", "b", "c", "d", "e"]}
+        )
+        descending = sort_by(frame, ["k"], descending=True)
+        assert descending.column("tag").values() == ["c", "d", "a", "b", "e"]
+        ascending = sort_by(frame, ["k"])
+        assert ascending.column("tag").values() == ["a", "b", "e", "c", "d"]
+
+    def test_descending_multi_key_stable(self):
+        frame = DataFrame.from_dict(
+            {
+                "a": [1, 1, 1, 0],
+                "b": ["x", "y", "x", "z"],
+                "tag": ["r0", "r1", "r2", "r3"],
+            }
+        )
+        ordered = sort_by(frame, ["a", "b"], descending=True)
+        assert ordered.column("tag").values() == ["r1", "r0", "r2", "r3"]
+
+    def test_descending_missing_sorts_first(self):
+        frame = DataFrame.from_dict({"x": [None, 1, 2]})
+        assert sort_by(frame, ["x"], descending=True).column("x").values() == [
+            None,
+            2,
+            1,
+        ]
+
+    def test_sort_string_column_is_lexicographic(self):
+        frame = DataFrame.from_dict({"s": ["pear", "apple", None, "fig"]})
+        assert sort_by(frame, ["s"]).column("s").values() == [
+            "apple",
+            "fig",
+            "pear",
+            None,
+        ]
 
 
 class TestGroupBy:
@@ -57,6 +97,51 @@ class TestGroupBy:
             result.at(i, "k"): result.at(i, "n") for i in range(result.num_rows)
         }
         assert counts[None] == 2
+
+    def test_named_aggregators(self):
+        frame = DataFrame.from_dict(
+            {"k": ["a", "b", "a", "a"], "v": [1, 2, 3, None]}
+        )
+        result = group_by(
+            frame,
+            ["k"],
+            {
+                "total": ("v", "sum"),
+                "avg": ("v", "mean"),
+                "lo": ("v", "min"),
+                "hi": ("v", "max"),
+                "n": ("v", "count"),
+                "head": ("v", "first"),
+            },
+        )
+        by_key = {
+            result.at(i, "k"): result.row(i) for i in range(result.num_rows)
+        }
+        assert by_key["a"]["total"] == 4
+        assert by_key["a"]["avg"] == 2.0
+        assert by_key["a"]["lo"] == 1
+        assert by_key["a"]["hi"] == 3
+        assert by_key["a"]["n"] == 2
+        assert by_key["a"]["head"] == 1
+        assert by_key["b"]["total"] == 2
+
+    def test_all_missing_group_aggregates_to_none(self):
+        frame = DataFrame.from_dict({"k": ["a", "a"], "v": [None, None]})
+        result = group_by(
+            frame, ["k"], {"total": ("v", "sum"), "n": ("v", "count")}
+        )
+        assert result.at(0, "total") is None
+        assert result.at(0, "n") is None
+
+    def test_unknown_named_aggregator_raises(self):
+        frame = DataFrame.from_dict({"k": ["a"], "v": [1]})
+        with pytest.raises(ValueError):
+            group_by(frame, ["k"], {"x": ("v", "median")})
+
+    def test_groups_emitted_in_first_occurrence_order(self):
+        frame = DataFrame.from_dict({"k": ["z", "a", "z", "m"], "v": [1, 2, 3, 4]})
+        result = group_by(frame, ["k"], {"n": ("v", "count")})
+        assert result.column("k").values() == ["z", "a", "m"]
 
 
 class TestJoin:

@@ -1,0 +1,254 @@
+"""Batched repair application matches per-cell semantics byte for byte.
+
+``Column.set_many`` / ``DataFrame.set_cells`` / ``apply_patches`` write
+whole array slices; these tests run them side by side with the retained
+per-cell reference (a sequential ``set_at`` loop — the historical
+application path) on mixed-dtype frames with nulls, dtype-widening
+patches, and int64-overflowing values, asserting identical frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.repair import StandardImputer, apply_patches, mask_cells
+from repro.repair.base import RepairResult
+
+
+def reference_apply(frame: DataFrame, repairs: dict) -> DataFrame:
+    """The historical per-cell application loop."""
+    repaired = frame.copy()
+    for (row, column), value in repairs.items():
+        if 0 <= row < frame.num_rows and column in frame:
+            repaired.set_at(row, column, value)
+    return repaired
+
+
+def _assert_identical(actual: DataFrame, expected: DataFrame):
+    assert actual.column_names == expected.column_names
+    assert actual.dtypes() == expected.dtypes()
+    for name in expected.column_names:
+        mine = actual.column(name).values()
+        ref = expected.column(name).values()
+        assert len(mine) == len(ref)
+        for a, b in zip(mine, ref):
+            assert type(a) is type(b), (name, a, b)
+            assert a == b, (name, a, b)
+
+
+def _random_values(rng, dtype, n, missing):
+    values = []
+    for _ in range(n):
+        if rng.random() < missing:
+            values.append(None)
+        elif dtype == "int":
+            values.append(int(rng.integers(-50, 50)))
+        elif dtype == "float":
+            values.append(float(np.round(rng.normal(), 3)))
+        elif dtype == "bool":
+            values.append(bool(rng.integers(0, 2)))
+        else:
+            values.append(f"v{int(rng.integers(0, 12))}")
+    return values
+
+
+def _mixed_frame(seed=0, n=40):
+    rng = np.random.default_rng(seed)
+    return DataFrame.from_dict(
+        {
+            "i": _random_values(rng, "int", n, 0.2),
+            "f": _random_values(rng, "float", n, 0.2),
+            "b": _random_values(rng, "bool", n, 0.2),
+            "s": _random_values(rng, "string", n, 0.2),
+        }
+    )
+
+
+class TestSetManyEquivalence:
+    @pytest.mark.parametrize("dtype", ["int", "float", "bool", "string"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_matches_sequential_set(self, dtype, seed):
+        rng = np.random.default_rng(seed)
+        values = _random_values(rng, dtype, 30, 0.2)
+        batched = Column("x", values)
+        sequential = Column("x", values)
+        indices = [int(i) for i in rng.integers(0, 30, 12)]
+        replacements = _random_values(rng, dtype, 12, 0.3)
+        batched.set_many(indices, replacements)
+        for index, value in zip(indices, replacements):
+            sequential.set(index, value)
+        assert batched == sequential
+        assert batched.dtype == sequential.dtype
+
+    def test_widening_matches_sequential(self):
+        for values in (
+            ["a", 3],
+            [3.5, "x"],
+            [True, None, 7],
+            [2.5, 4],
+            ["a", None, 3],  # None must not over-widen int→string alone
+            [None, 2.5],
+        ):
+            batched = Column("x", [1, 2, 3, 4])
+            sequential = Column("x", [1, 2, 3, 4])
+            indices = list(range(len(values)))
+            batched.set_many(indices, values)
+            for index, value in zip(indices, values):
+                sequential.set(index, value)
+            assert batched == sequential
+            assert batched.dtype == sequential.dtype
+
+    def test_int64_overflow_value(self):
+        batched = Column("x", [1, 2, 3])
+        sequential = Column("x", [1, 2, 3])
+        batched.set_many([1], [10**30])
+        sequential.set(1, 10**30)
+        assert batched == sequential
+        assert batched.values() == [1, 10**30, 3]
+
+    def test_duplicate_indices_last_wins(self):
+        column = Column("x", [0, 0, 0])
+        column.set_many([1, 1, 2], [5, 7, 9])
+        assert column.values() == [0, 7, 9]
+
+    def test_length_mismatch_raises(self):
+        column = Column("x", [1, 2])
+        with pytest.raises(ValueError):
+            column.set_many([0], [1, 2])
+
+    def test_out_of_range_raises(self):
+        column = Column("x", [1, 2])
+        with pytest.raises(IndexError):
+            column.set_many([5], [1])
+
+    def test_empty_patch_is_noop(self):
+        column = Column("x", [1, 2])
+        column.set_many([], [])
+        assert column.values() == [1, 2]
+
+    def test_codes_cache_invalidated(self):
+        column = Column("x", ["a", "a", "b"])
+        assert column.codes()[0].tolist() == [0, 0, 1]
+        column.set_many([0], ["b"])
+        assert column.codes()[0].tolist() == [0, 1, 0]
+
+
+class TestSetCells:
+    def test_matches_per_cell_set_at(self):
+        frame = _mixed_frame(seed=1)
+        reference = frame.copy()
+        rows = [0, 3, 7]
+        values = [99, None, 12]
+        frame.set_cells("i", rows, values)
+        for row, value in zip(rows, values):
+            reference.set_at(row, "i", value)
+        _assert_identical(frame, reference)
+
+    def test_out_of_range_rejected_before_write(self):
+        frame = _mixed_frame(seed=1)
+        with pytest.raises(IndexError):
+            frame.set_cells("i", [0, frame.num_rows], [1, 2])
+
+
+@pytest.mark.parametrize("seed", [0, 2, 5])
+class TestBatchedApplyEquivalence:
+    def _repairs(self, frame, rng, n_cells=25):
+        cells = {}
+        pools = {
+            "i": lambda: int(rng.integers(-5, 5)),
+            "f": lambda: float(np.round(rng.normal(), 2)),
+            "b": lambda: bool(rng.integers(0, 2)),
+            "s": lambda: f"r{int(rng.integers(0, 5))}",
+        }
+        for _ in range(n_cells):
+            name = list(pools)[int(rng.integers(0, 4))]
+            row = int(rng.integers(0, frame.num_rows))
+            value = None if rng.random() < 0.15 else pools[name]()
+            cells[(row, name)] = value
+        return cells
+
+    def test_apply_to_matches_per_cell_reference(self, seed):
+        frame = _mixed_frame(seed)
+        rng = np.random.default_rng(seed + 50)
+        repairs = self._repairs(frame, rng)
+        result = RepairResult(tool="test", repairs=repairs)
+        _assert_identical(result.apply_to(frame), reference_apply(frame, repairs))
+
+    def test_widening_repairs_match_reference(self, seed):
+        frame = _mixed_frame(seed)
+        repairs = {
+            (0, "i"): "not-a-number",
+            (1, "i"): 7,
+            (2, "f"): "text",
+            (3, "b"): "maybe-not",
+        }
+        result = RepairResult(tool="test", repairs=repairs)
+        _assert_identical(result.apply_to(frame), reference_apply(frame, repairs))
+
+    def test_out_of_range_cells_dropped(self, seed):
+        frame = _mixed_frame(seed)
+        repairs = {(999, "i"): 1, (-1, "f"): 2.0, (0, "ghost"): 3, (0, "i"): 4}
+        result = RepairResult(tool="test", repairs=repairs)
+        _assert_identical(result.apply_to(frame), reference_apply(frame, repairs))
+
+    def test_mask_cells_matches_per_cell_blanking(self, seed):
+        frame = _mixed_frame(seed)
+        rng = np.random.default_rng(seed + 99)
+        cells = {
+            (int(rng.integers(0, frame.num_rows)), name)
+            for name in frame.column_names
+            for _ in range(6)
+        }
+        reference = frame.copy()
+        for row, column in cells:
+            reference.set_at(row, column, None)
+        _assert_identical(mask_cells(frame, cells), reference)
+
+
+class TestApplyPatches:
+    def test_direct_patch_application(self):
+        frame = DataFrame.from_dict({"x": [1, 2, 3], "y": ["a", "b", "c"]})
+        apply_patches(frame, {"x": ([0, 2], [10, None]), "y": ([1], ["z"])})
+        assert frame.column("x").values() == [10, 2, None]
+        assert frame.column("y").values() == ["a", "z", "c"]
+
+    def test_repairer_end_to_end_unchanged(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, 3.0, 1000.0]})
+        result = StandardImputer().repair(frame, {(3, "x")})
+        repaired = result.apply_to(frame)
+        assert repaired.at(3, "x") == pytest.approx(2.0)
+        assert frame.at(3, "x") == 1000.0, "input frame untouched"
+
+    def test_to_patches_groups_per_column(self):
+        frame = DataFrame.from_dict({"x": [1, 2, 3], "y": [4, 5, 6]})
+        result = RepairResult(
+            tool="test", repairs={(2, "x"): 9, (0, "x"): 7, (1, "y"): 8}
+        )
+        patches = result.to_patches(frame)
+        assert sorted(zip(*patches["x"])) == [(0, 7), (2, 9)]
+        assert patches["y"] == ([1], [8])
+
+    def test_repairer_precomputed_patches_match_cell_dict(self):
+        frame = _mixed_frame(seed=3)
+        cells = {(i, name) for i in range(0, 10) for name in frame.column_names}
+        result = StandardImputer().repair(frame, cells)
+        assert result.patches is not None
+        flattened = {
+            (row, column): value
+            for column, (rows, values) in result.patches.items()
+            for row, value in zip(rows, values)
+        }
+        assert flattened == result.repairs
+        _assert_identical(
+            result.apply_to(frame), reference_apply(frame, result.repairs)
+        )
+
+    def test_patches_fall_back_on_mismatched_frame(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0, 3.0, 1000.0]})
+        result = StandardImputer().repair(frame, {(3, "x")})
+        smaller = DataFrame.from_dict({"x": [1.0, 2.0]})
+        _assert_identical(
+            result.apply_to(smaller), reference_apply(smaller, result.repairs)
+        )
