@@ -77,8 +77,16 @@ class DataLensSession:
     # ------------------------------------------------------------------
     # Profiling and rule extraction (§3)
     # ------------------------------------------------------------------
-    def profile(self) -> ProfileReport:
-        self.profile_report = profile(self.frame)
+    def profile(self, n_jobs: int | None = None) -> ProfileReport:
+        """Profile the working frame (chunk-aware, optionally parallel).
+
+        ``n_jobs`` defaults to the controller-level ``profile_jobs``
+        setting; frames ingested through a chunked loader profile via
+        per-chunk partial aggregates either way.
+        """
+        if n_jobs is None:
+            n_jobs = self.controller.profile_jobs
+        self.profile_report = profile(self.frame, n_jobs=n_jobs)
         return self.profile_report
 
     def discover_rules(
@@ -335,13 +343,30 @@ class DataLensSession:
 
 
 class DataLens:
-    """Workspace-level entry point: ingestion plus shared services."""
+    """Workspace-level entry point: ingestion plus shared services.
 
-    def __init__(self, workspace_dir: str | Path, seed: int = 0) -> None:
+    ``chunk_size`` makes every session load its dataset as a streamed
+    :class:`~repro.dataframe.ChunkedFrame` (sharded storage, per-chunk
+    profiling partials); ``profile_jobs`` sets the default thread count
+    for :meth:`DataLensSession.profile` (None/1 = serial, -1 = all
+    cores). Both default to off, and results are bit-identical either
+    way.
+    """
+
+    def __init__(
+        self,
+        workspace_dir: str | Path,
+        seed: int = 0,
+        chunk_size: int | None = None,
+        profile_jobs: int | None = None,
+    ) -> None:
         self.workspace_dir = Path(workspace_dir)
-        self.loader = DataLoader(self.workspace_dir / "datasets")
+        self.loader = DataLoader(
+            self.workspace_dir / "datasets", chunk_size=chunk_size
+        )
         self.tracking = TrackingClient(self.workspace_dir / "mlruns")
         self.seed = seed
+        self.profile_jobs = profile_jobs
         self._sessions: dict[str, DataLensSession] = {}
 
     # ------------------------------------------------------------------

@@ -44,6 +44,21 @@ them. The guarantees those kernels rely on:
 * the result is cached per column and invalidated by ``set`` /
   ``set_many``, so repeated group-by/join/sort calls over an unchanged
   frame share one factorization.
+
+Chunking contract
+-----------------
+Every column also exposes the shard iteration API used by the chunked
+execution layer (:mod:`repro.dataframe.chunked`): :meth:`iter_chunks`
+yields monolithic column shards whose concatenation is row-identical to
+the column, ``n_chunks`` / ``chunk_lengths`` describe the boundaries. A
+plain ``Column`` is the degenerate single-chunk case (it yields itself),
+so chunk-aware kernels — per-chunk partial aggregates merged exactly for
+integer counters/min/max/frequency tables, gathered compressed payloads
+for float moments and quantiles — run unchanged and bit-identically on
+both representations. ``codes()`` on a chunked column always factorizes
+across *all* chunks (equal values in different chunks share one code);
+see the :mod:`repro.dataframe.chunked` module docstring for the chunk
+boundary invariants and the exact merge rules.
 """
 
 from __future__ import annotations
@@ -120,7 +135,9 @@ class Column:
         """Wrap pre-validated (data, mask) arrays without re-coercing.
 
         The column takes ownership of the arrays; callers must pass fresh
-        copies, never views into another column's storage.
+        copies — or, as the chunked layer does for the shards it yields,
+        *read-only* views — never writable views into another column's
+        storage.
         """
         column = cls.__new__(cls)
         column.name = name
@@ -380,6 +397,26 @@ class Column:
             n_groups += 1
         self._codes_cache = (codes, n_groups)
         return self._codes_cache
+
+    # ------------------------------------------------------------------
+    # Chunk API (degenerate single-chunk case; see repro.dataframe.chunked)
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        return 1
+
+    @property
+    def chunk_lengths(self) -> tuple[int, ...]:
+        return (len(self),)
+
+    def iter_chunks(self) -> Iterator["Column"]:
+        """Yield the column's shards in row order — here, itself.
+
+        Chunk-aware kernels iterate this on any column; a monolithic
+        column is one shard, so the per-chunk path and the dense path
+        are the same code.
+        """
+        yield self
 
     def map(self, func: Callable[[Any], Any]) -> "Column":
         """Apply ``func`` to non-missing cells; missing cells stay missing."""

@@ -304,6 +304,40 @@ class DataFrame:
         return DataFrame(col.copy() for col in self._columns.values())
 
     # ------------------------------------------------------------------
+    # Chunking (see repro.dataframe.chunked for the contract)
+    # ------------------------------------------------------------------
+    def to_chunked(self, chunk_size: int | None = None):
+        """Return a :class:`~repro.dataframe.chunked.ChunkedFrame` copy.
+
+        ``chunk_size`` defaults to the ``DATALENS_DEFAULT_CHUNK_SIZE``
+        environment override, else the built-in default.
+        """
+        from .chunked import ChunkedFrame
+
+        return ChunkedFrame.from_frame(self, chunk_size)
+
+    def rechunk(self, chunk_size: int | None = None):
+        """Alias of :meth:`to_chunked` on a monolithic frame."""
+        return self.to_chunked(chunk_size)
+
+    @property
+    def n_chunks(self) -> int:
+        return 1
+
+    @property
+    def chunk_lengths(self) -> tuple[int, ...]:
+        return (self.num_rows,)
+
+    def iter_chunks(self) -> Iterator["DataFrame"]:
+        """Yield the frame's row chunks in order — here, itself.
+
+        Chunk-aware consumers (profiling partials, detection shard
+        loops) iterate this uniformly; a monolithic frame is a single
+        chunk.
+        """
+        yield self
+
+    # ------------------------------------------------------------------
     # Missing data
     # ------------------------------------------------------------------
     def missing_mask(self) -> dict[str, list[bool]]:

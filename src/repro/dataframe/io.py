@@ -2,6 +2,14 @@
 
 CSV is the interchange format the paper's dashboard uses for uploads and for
 persisting repaired datasets; JSON is used by DataSheets and the REST API.
+
+``read_csv_chunked`` is the streaming ingestion path: it scans the file
+once, packs every ``chunk_size`` rows into typed shard arrays as they
+arrive (never materializing the full table as Python rows), folds dtype
+inference incrementally over the lattice, and re-coerces already-packed
+shards at the array level on the rare widening events — producing a
+:class:`~repro.dataframe.chunked.ChunkedFrame` whose values and dtypes
+are bit-identical to :func:`read_csv`.
 """
 
 from __future__ import annotations
@@ -10,9 +18,12 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
+
+import numpy as np
 
 from . import types as _types
+from .column import _pack
 from .frame import DataFrame
 
 
@@ -43,6 +54,178 @@ def read_csv_text(
     header = [name.strip() for name in rows[0]]
     parsed = [[_types.parse_token(token) for token in row] for row in rows[1:]]
     return DataFrame.from_rows(parsed, header, dtypes)
+
+
+class _StreamingColumnBuilder:
+    """Accumulates one column's shards during a streaming CSV scan.
+
+    Dtype inference is folded incrementally: the ``saw_*`` flags mirror
+    :func:`repro.dataframe.types.infer_dtype` (missing cells never move
+    them), so the final dtype equals a whole-column inference pass. Each
+    chunk is packed at the fold's current dtype; when a later chunk
+    widens it, the already-packed shards are re-coerced array-side —
+    coercion composes along the widening lattice (``coerce(coerce(v, d1),
+    d2) == coerce(v, d2)`` for the d1 ≤ d2 the fold can produce), so the
+    result is identical to coercing the raw parsed values once.
+    """
+
+    def __init__(self, name: str, declared: str | None):
+        if declared is not None and declared not in _types.DTYPES:
+            raise ValueError(f"unknown dtype {declared!r}")
+        self.name = name
+        self.declared = declared
+        self.shards: list[tuple[np.ndarray, np.ndarray]] = []
+        self.dtype: str | None = declared
+        self._saw_bool = False
+        self._saw_int = False
+        self._saw_float = False
+        self._saw_any = False
+        self._is_string = False
+
+    def _fold_dtype(self) -> str:
+        if self._is_string or not self._saw_any:
+            return _types.STRING
+        if self._saw_float:
+            return _types.FLOAT
+        if self._saw_int:
+            return _types.INT
+        if self._saw_bool:
+            return _types.BOOL
+        return _types.STRING
+
+    def _observe(self, values: list[Any]) -> None:
+        for value in values:
+            if _types.is_missing(value):
+                continue
+            self._saw_any = True
+            if isinstance(value, bool):
+                self._saw_bool = True
+            elif isinstance(value, int):
+                self._saw_int = True
+            elif isinstance(value, float):
+                self._saw_float = True
+            else:
+                self._is_string = True
+
+    def flush(self, values: list[Any]) -> None:
+        """Pack one chunk of parsed values into a shard."""
+        if not values:
+            return
+        if self.declared is None:
+            self._observe(values)
+            target = self._fold_dtype()
+            if self.dtype is None:
+                self.dtype = target
+            elif target != self.dtype:
+                self.shards = [
+                    _convert_shard(data, mask, self.dtype, target)
+                    for data, mask in self.shards
+                ]
+                self.dtype = target
+        coerced = [_types.coerce(value, self.dtype) for value in values]
+        self.shards.append(_pack(coerced, self.dtype))
+
+    def finish(self):
+        from .chunked import ChunkedColumn
+
+        if self.dtype is None:  # zero data rows
+            self.dtype = _types.STRING
+        return ChunkedColumn.from_shards(self.name, self.dtype, self.shards)
+
+
+def _convert_shard(
+    data: np.ndarray, mask: np.ndarray, old: str, new: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-coerce a packed shard to a wider dtype, exactly.
+
+    Native numeric widenings use array casts (``int64 → float64`` and
+    ``bool → int64/float64`` round-trip exactly through Python
+    semantics); everything else — widening to string, object-backed
+    payloads, shards packed while the column was all-missing — rebuilds
+    from Python scalars via the shared coercion rules, which is what a
+    whole-column pass would have done.
+    """
+    if data.dtype != object:
+        if old == _types.INT and new == _types.FLOAT:
+            out = data.astype(np.float64)
+            out[mask] = _types.FILL_VALUES[new]
+            return out, mask
+        if old == _types.BOOL and new == _types.INT:
+            out = data.astype(np.int64)
+            out[mask] = _types.FILL_VALUES[new]
+            return out, mask
+        if old == _types.BOOL and new == _types.FLOAT:
+            out = data.astype(np.float64)
+            out[mask] = _types.FILL_VALUES[new]
+            return out, mask
+    values = data.tolist()  # Python scalars (object arrays hold them already)
+    for index in np.flatnonzero(mask).tolist():
+        values[index] = None
+    return _pack([_types.coerce(value, new) for value in values], new)
+
+
+def read_csv_chunked(
+    path: str | Path,
+    delimiter: str = ",",
+    dtypes: Mapping[str, str] | None = None,
+    chunk_size: int | None = None,
+):
+    """Stream a CSV file into a ChunkedFrame, ``chunk_size`` rows per shard.
+
+    Bit-identical to :func:`read_csv` (same parsing, inference, and
+    coercion) but never holds more than one chunk of Python row objects.
+    """
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return _read_csv_stream(handle, delimiter, dtypes, chunk_size)
+
+
+def read_csv_text_chunked(
+    text: str,
+    delimiter: str = ",",
+    dtypes: Mapping[str, str] | None = None,
+    chunk_size: int | None = None,
+):
+    """Chunked variant of :func:`read_csv_text`."""
+    return _read_csv_stream(io.StringIO(text), delimiter, dtypes, chunk_size)
+
+
+def _read_csv_stream(
+    handle: Iterable[str],
+    delimiter: str,
+    dtypes: Mapping[str, str] | None,
+    chunk_size: int | None,
+):
+    from .chunked import ChunkedFrame, resolve_chunk_size
+
+    size = resolve_chunk_size(chunk_size)
+    dtypes = dtypes or {}
+    reader = csv.reader(handle, delimiter=delimiter)
+    header_row = next(reader, None)
+    if header_row is None:
+        raise ValueError("CSV input is empty (no header row)")
+    header = [name.strip() for name in header_row]
+    builders = [
+        _StreamingColumnBuilder(name, dtypes.get(name)) for name in header
+    ]
+    buffers: list[list[Any]] = [[] for _ in header]
+    buffered = 0
+    for row in reader:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} fields, expected {len(header)}"
+            )
+        for buffer, token in zip(buffers, row):
+            buffer.append(_types.parse_token(token))
+        buffered += 1
+        if buffered == size:
+            for builder, buffer in zip(builders, buffers):
+                builder.flush(buffer)
+            buffers = [[] for _ in header]
+            buffered = 0
+    if buffered:
+        for builder, buffer in zip(builders, buffers):
+            builder.flush(buffer)
+    return ChunkedFrame(builder.finish() for builder in builders)
 
 
 def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",") -> None:

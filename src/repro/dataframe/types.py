@@ -33,6 +33,18 @@ Key semantics under the codes-based relational kernels
 * **Cross-dtype keys** — join/group equality follows Python ``==``:
   ``2 == 2.0 == True`` matches across numeric columns of different
   dtypes, while strings never equal numbers.
+
+Chunked storage (:mod:`repro.dataframe.chunked`) keeps one logical dtype
+per *column*, never per shard: only the numpy backing may differ between
+shards of an ``int`` column (int64 vs. object after an overflow), and
+concatenation normalizes to object-backed Python ints — the same
+representation :func:`repro.dataframe.column._pack` chooses monolithically.
+Streaming ingestion folds :func:`infer_dtype` incrementally (the
+``saw_*`` flags ignore missing cells, so an all-missing chunk never
+forces ``string``) and re-coerces earlier shards on widening; coercion
+composes along the lattice (``coerce(coerce(v, d1), d2) ==
+coerce(v, d2)`` for fold-reachable ``d1 <= d2``), keeping streamed
+columns bit-identical to a whole-table pass.
 """
 
 from __future__ import annotations

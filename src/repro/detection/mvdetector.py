@@ -25,6 +25,11 @@ class MVDetector(Detector):
     CSV ingestion already parses tokens like ``"NA"`` into missing cells,
     but frames built in memory (or loaded from SQL) can still carry textual
     nulls, so both representations are covered.
+
+    Chunk-aware: the null-token verdict is decided once per distinct
+    value on the column's cross-chunk ``codes()`` (equal strings in
+    different chunks share one code), then the flagging pass walks the
+    shards with a running row offset.
     """
 
     name = "mv_detector"
@@ -43,19 +48,25 @@ class MVDetector(Detector):
         cells: set[Cell] = set()
         for name in frame.column_names:
             column = frame.column(name)
-            flagged = np.asarray(column.mask()).copy()
+            bad_by_code: np.ndarray | None = None
+            codes: np.ndarray | None = None
             if column.dtype == "string" and len(column):
                 # Test each *distinct* value once against the null tokens
                 # and broadcast the verdict back through the value codes.
                 codes, n_groups = column.codes()
-                bad = np.zeros(n_groups, dtype=bool)
+                bad_by_code = np.zeros(n_groups, dtype=bool)
                 for value, code in _unique_with_codes(column, codes):
-                    bad[code] = (
+                    bad_by_code[code] = (
                         isinstance(value, str)
                         and value.strip().lower() in self.null_tokens
                     )
-                flagged |= bad[codes]
-            for row in np.flatnonzero(flagged).tolist():
-                cells.add((row, name))
+            offset = 0
+            for chunk in column.iter_chunks():
+                flagged = np.asarray(chunk.mask()).copy()
+                if bad_by_code is not None:
+                    flagged |= bad_by_code[codes[offset : offset + len(chunk)]]
+                for local in np.flatnonzero(flagged).tolist():
+                    cells.add((offset + local, name))
+                offset += len(chunk)
         scores = {cell: 1.0 for cell in cells}
         return cells, scores, {}

@@ -1,13 +1,36 @@
-"""Statistical outlier detectors: standard deviation (SD) and IQR."""
+"""Statistical outlier detectors: standard deviation (SD) and IQR.
+
+Both detectors are chunk-aware: the distribution statistics come from
+the gathered non-missing payload (element-identical to the monolithic
+compression, so mean/std/quantiles are bit-identical), and the flagging
+pass then walks the column's shards with a running row offset — the
+z-score / fence comparisons are elementwise, so chunk boundaries cannot
+change which cells are flagged or their scores.
+"""
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
-from ..dataframe import Cell, DataFrame
+from ..dataframe import Cell, Column, DataFrame
+from ..dataframe.chunked import compressed_chunks, gather_compressed
 from .base import DetectionContext, Detector
+
+
+def _shard_arrays(column: Column) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Yield ``(row_offset, float values, mask)`` per shard, in row order."""
+    offset = 0
+    for chunk in column.iter_chunks():
+        mask = np.asarray(chunk.mask())
+        yield offset, chunk.values_array().astype(float), mask
+        offset += len(chunk)
+
+
+def _gather_finite(column: Column) -> np.ndarray:
+    """All non-missing values as one float array (chunk order = row order)."""
+    return gather_compressed(compressed_chunks(column))
 
 
 class SDDetector(Detector):
@@ -32,20 +55,20 @@ class SDDetector(Detector):
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            mask = column.mask()
-            finite = column.values_array()[~mask].astype(float)
+            finite = _gather_finite(column)
             if len(finite) < 3:
                 continue
             mean = float(np.mean(finite))
             std = float(np.std(finite))
             if std == 0.0:
                 continue
-            z = np.abs(column.values_array().astype(float) - mean) / std
-            flagged = (z > self.k) & ~mask
-            for row in np.flatnonzero(flagged).tolist():
-                cell = (row, name)
-                cells.add(cell)
-                scores[cell] = float(z[row])
+            for offset, values, mask in _shard_arrays(column):
+                z = np.abs(values - mean) / std
+                flagged = (z > self.k) & ~mask
+                for local in np.flatnonzero(flagged).tolist():
+                    cell = (offset + local, name)
+                    cells.add(cell)
+                    scores[cell] = float(z[local])
         return cells, scores, {"columns_checked": list(names)}
 
 
@@ -71,9 +94,7 @@ class IQRDetector(Detector):
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            mask = column.mask()
-            values = column.values_array().astype(float)
-            finite = values[~mask]
+            finite = _gather_finite(column)
             if len(finite) < 4:
                 continue
             q1, q3 = np.quantile(finite, [0.25, 0.75])
@@ -82,10 +103,11 @@ class IQRDetector(Detector):
                 continue
             low = q1 - self.factor * iqr
             high = q3 + self.factor * iqr
-            outside = ((values < low) | (values > high)) & ~mask
-            distances = np.maximum(low - values, values - high) / iqr
-            for row in np.flatnonzero(outside).tolist():
-                cell = (row, name)
-                cells.add(cell)
-                scores[cell] = float(distances[row])
+            for offset, values, mask in _shard_arrays(column):
+                outside = ((values < low) | (values > high)) & ~mask
+                distances = np.maximum(low - values, values - high) / iqr
+                for local in np.flatnonzero(outside).tolist():
+                    cell = (offset + local, name)
+                    cells.add(cell)
+                    scores[cell] = float(distances[local])
         return cells, scores, {"columns_checked": list(names)}

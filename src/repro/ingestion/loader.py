@@ -13,7 +13,13 @@ import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..dataframe import DataFrame, read_csv, write_csv
+from ..dataframe import (
+    DataFrame,
+    default_chunk_size,
+    read_csv,
+    read_csv_chunked,
+    write_csv,
+)
 from .datasets import PRELOADED, load_clean
 
 DIRTY_FILE_NAME = "dirty.csv"
@@ -40,11 +46,27 @@ class DatasetWorkspace:
 
 
 class DataLoader:
-    """Feeds input data into the dashboard controller (§2, "data loader")."""
+    """Feeds input data into the dashboard controller (§2, "data loader").
 
-    def __init__(self, base_dir: str | Path) -> None:
+    ``chunk_size`` switches :meth:`load` to the streaming chunked reader
+    (:func:`~repro.dataframe.read_csv_chunked`): the dirty CSV is packed
+    into a :class:`~repro.dataframe.ChunkedFrame` of that many rows per
+    shard without materializing the full table as Python rows. When not
+    given, the ``DATALENS_DEFAULT_CHUNK_SIZE`` environment override
+    applies; when neither is set, loads stay monolithic.
+    """
+
+    def __init__(
+        self, base_dir: str | Path, chunk_size: int | None = None
+    ) -> None:
         self.base_dir = Path(base_dir)
         self.base_dir.mkdir(parents=True, exist_ok=True)
+        self.chunk_size = chunk_size
+
+    def _effective_chunk_size(self) -> int | None:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return default_chunk_size()
 
     # ------------------------------------------------------------------
     def workspace_for(self, dataset_name: str) -> DatasetWorkspace:
@@ -91,12 +113,20 @@ class DataLoader:
 
     # ------------------------------------------------------------------
     def load(self, dataset_name: str) -> DataFrame:
-        """Read back the dirty CSV of an ingested dataset."""
+        """Read back the dirty CSV of an ingested dataset.
+
+        Returns a ChunkedFrame (streamed, sharded) when a chunk size is
+        configured, else a monolithic DataFrame — bit-identical either
+        way.
+        """
         workspace = self.workspace_for(dataset_name)
         if not workspace.dirty_path.exists():
             raise FileNotFoundError(
                 f"dataset {dataset_name!r} has no {DIRTY_FILE_NAME}"
             )
+        chunk_size = self._effective_chunk_size()
+        if chunk_size is not None:
+            return read_csv_chunked(workspace.dirty_path, chunk_size=chunk_size)
         return read_csv(workspace.dirty_path)
 
     def list_datasets(self) -> list[str]:

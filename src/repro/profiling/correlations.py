@@ -1,11 +1,34 @@
-"""Correlation measures between columns (numeric and categorical)."""
+"""Correlation measures between columns (numeric and categorical).
+
+The matrix builders accept an optional executor (any object with a
+``map(fn, iterable)`` preserving input order, e.g. a
+``concurrent.futures.ThreadPoolExecutor``): per-column preparation and
+per-pair correlation tasks then run concurrently. Each pair is computed
+independently with the same kernel on the same arrays, and results are
+written back in deterministic pair order, so parallel output is
+bit-identical to serial output.
+"""
 
 from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..dataframe import DataFrame
 from ..dataframe.types import factorize_objects
+
+
+class _SerialExecutor:
+    """Fallback executor: plain in-thread map."""
+
+    def map(self, fn: Callable, *iterables: Iterable):
+        return map(fn, *iterables)
+
+
+def _ordered_map(executor, fn: Callable, items: Sequence) -> list:
+    """Run ``fn`` over ``items`` (possibly in parallel), preserving order."""
+    return list((executor or _SerialExecutor()).map(fn, items))
 
 
 def pearson(x: np.ndarray, y: np.ndarray) -> float:
@@ -117,72 +140,101 @@ def _pearson_core(xs: np.ndarray, ys: np.ndarray) -> float:
 
 
 def correlation_matrix(
-    frame: DataFrame, method: str = "pearson"
+    frame: DataFrame, method: str = "pearson", executor=None
 ) -> tuple[list[str], np.ndarray]:
     """Numeric correlation matrix by Pearson or Spearman.
 
     Validity masks are computed once per column, and Spearman ranks are
     cached per column and reused for every pair without missing values —
-    only pairwise-incomplete pairs pay for a re-rank.
+    only pairwise-incomplete pairs pay for a re-rank. With ``executor``,
+    column preparation and pair correlations run concurrently.
     """
     if method not in ("pearson", "spearman"):
         raise ValueError("method must be 'pearson' or 'spearman'")
     names = frame.numeric_column_names()
-    arrays = {name: frame.column(name).to_numpy() for name in names}
+    arrays = dict(
+        zip(
+            names,
+            _ordered_map(
+                executor, lambda name: frame.column(name).to_numpy(), names
+            ),
+        )
+    )
     valid = {name: ~np.isnan(arrays[name]) for name in names}
     full_ranks: dict[str, np.ndarray] = {}
     if method == "spearman":
-        full_ranks = {
-            name: _rank(arrays[name])
-            for name in names
-            if bool(valid[name].all())
-        }
+        complete_names = [name for name in names if bool(valid[name].all())]
+        full_ranks = dict(
+            zip(
+                complete_names,
+                _ordered_map(
+                    executor,
+                    lambda name: _rank(arrays[name]),
+                    complete_names,
+                ),
+            )
+        )
+
+    def _pair_value(pair: tuple[str, str]) -> float:
+        a, b = pair
+        mask = valid[a] & valid[b]
+        if int(mask.sum()) < 2:
+            return 0.0
+        if method == "pearson":
+            return _pearson_core(arrays[a][mask], arrays[b][mask])
+        if bool(mask.all()):
+            return _pearson_core(full_ranks[a], full_ranks[b])
+        return _pearson_core(_rank(arrays[a][mask]), _rank(arrays[b][mask]))
+
+    pairs = [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    values = _ordered_map(executor, _pair_value, pairs)
     matrix = np.eye(len(names))
-    for i, a in enumerate(names):
-        for j, b in enumerate(names):
-            if j <= i:
-                continue
-            mask = valid[a] & valid[b]
-            if int(mask.sum()) < 2:
-                continue
-            complete = bool(mask.all())
-            if method == "pearson":
-                value = _pearson_core(arrays[a][mask], arrays[b][mask])
-            elif complete:
-                value = _pearson_core(full_ranks[a], full_ranks[b])
-            else:
-                value = _pearson_core(
-                    _rank(arrays[a][mask]), _rank(arrays[b][mask])
-                )
-            matrix[i, j] = value
-            matrix[j, i] = value
+    index = {name: position for position, name in enumerate(names)}
+    for (a, b), value in zip(pairs, values):
+        if value != 0.0:
+            matrix[index[a], index[b]] = value
+            matrix[index[b], index[a]] = value
     return names, matrix
 
 
 def categorical_association_matrix(
-    frame: DataFrame,
+    frame: DataFrame, executor=None
 ) -> tuple[list[str], np.ndarray]:
     """Cramér's V matrix across categorical columns.
 
     Runs on the columns' cached integer codes and null masks; each pair
     costs one boolean filter, two code compressions, and one bincount.
+    With ``executor``, pairs are computed concurrently.
     """
     names = frame.categorical_column_names()
     codes = {name: frame.column(name).codes() for name in names}
     masks = {name: np.asarray(frame.column(name).mask()) for name in names}
+
+    def _pair_value(pair: tuple[str, str]) -> float:
+        a, b = pair
+        keep = ~(masks[a] | masks[b])
+        if int(keep.sum()) < 2:
+            return 0.0
+        left_codes, n_left = _compress_codes(codes[a][0][keep], codes[a][1])
+        right_codes, n_right = _compress_codes(codes[b][0][keep], codes[b][1])
+        return _cramers_from_codes(left_codes, n_left, right_codes, n_right)
+
+    pairs = [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    values = _ordered_map(executor, _pair_value, pairs)
     matrix = np.eye(len(names))
-    for i, a in enumerate(names):
-        for j, b in enumerate(names):
-            if j <= i:
-                continue
-            keep = ~(masks[a] | masks[b])
-            if int(keep.sum()) < 2:
-                continue
-            left_codes, n_left = _compress_codes(codes[a][0][keep], codes[a][1])
-            right_codes, n_right = _compress_codes(codes[b][0][keep], codes[b][1])
-            value = _cramers_from_codes(left_codes, n_left, right_codes, n_right)
-            matrix[i, j] = value
-            matrix[j, i] = value
+    index = {name: position for position, name in enumerate(names)}
+    for (a, b), value in zip(pairs, values):
+        if value != 0.0:
+            matrix[index[a], index[b]] = value
+            matrix[index[b], index[a]] = value
     return names, matrix
 
 

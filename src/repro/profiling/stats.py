@@ -1,17 +1,108 @@
 """Per-column descriptive statistics for the Data Profile tab.
 
 All numeric measures are computed directly from the column's typed
-backing array (:meth:`~repro.dataframe.Column.values_array` plus null
+backing arrays (:meth:`~repro.dataframe.Column.values_array` plus null
 mask) — no per-cell Python casts on the hot path.
+
+The kernels are chunk-aware: they iterate
+:meth:`~repro.dataframe.Column.iter_chunks` (a monolithic column is one
+chunk), merging per-chunk partial aggregates *exactly* where float
+arithmetic allows it — integer counters (count, zeros, negatives),
+element selections (min/max), and monotonicity with boundary diffs — and
+gathering the per-chunk compressed payloads into one array for the
+order/moment statistics (quantiles, sum, variance, skew, kurtosis),
+whose values must stay bit-identical to the monolithic engine and
+therefore cannot be re-associated across chunk boundaries.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from ..dataframe import Column
+from ..dataframe.chunked import compressed_chunks, gather_compressed
+
+__all__ = [
+    "NumericPartial",
+    "categorical_summary",
+    "column_summary",
+    "compressed_chunks",
+    "gather_compressed",
+    "merged_numeric_partial",
+    "numeric_summary",
+]
+
+
+@dataclass
+class NumericPartial:
+    """Exactly-mergeable per-chunk aggregate of non-missing float values.
+
+    Every field merges across chunks without float re-association:
+    counts add as ints, min/max select existing elements, and the
+    monotonic flags combine the within-chunk verdict with the boundary
+    difference (computed exactly like ``np.diff`` across the seam).
+    """
+
+    count: int
+    zeros: int
+    negatives: int
+    minimum: float
+    maximum: float
+    first: float
+    last: float
+    monotonic_inc: bool
+    monotonic_dec: bool
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "NumericPartial | None":
+        """Partial for one chunk's compressed values (None when empty)."""
+        if len(values) == 0:
+            return None
+        diffs = np.diff(values)
+        return cls(
+            count=int(len(values)),
+            zeros=int(np.sum(values == 0.0)),
+            negatives=int(np.sum(values < 0.0)),
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+            first=float(values[0]),
+            last=float(values[-1]),
+            monotonic_inc=bool(np.all(diffs >= 0)),
+            monotonic_dec=bool(np.all(diffs <= 0)),
+        )
+
+    def merge(self, other: "NumericPartial") -> "NumericPartial":
+        """Exact merge with a partial covering the *next* row range."""
+        seam = other.first - self.last  # np.diff across the chunk seam
+        return NumericPartial(
+            count=self.count + other.count,
+            zeros=self.zeros + other.zeros,
+            negatives=self.negatives + other.negatives,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            first=self.first,
+            last=other.last,
+            monotonic_inc=(
+                self.monotonic_inc and other.monotonic_inc and seam >= 0
+            ),
+            monotonic_dec=(
+                self.monotonic_dec and other.monotonic_dec and seam <= 0
+            ),
+        )
+
+
+def merged_numeric_partial(parts: list[np.ndarray]) -> NumericPartial | None:
+    """Fold per-chunk partials left to right (None when all chunks empty)."""
+    merged: NumericPartial | None = None
+    for part in parts:
+        partial = NumericPartial.from_values(part)
+        if partial is None:
+            continue
+        merged = partial if merged is None else merged.merge(partial)
+    return merged
 
 
 def numeric_summary(column: Column) -> dict[str, Any]:
@@ -20,11 +111,12 @@ def numeric_summary(column: Column) -> dict[str, Any]:
     Includes the measures ydata-profiling reports: central tendency,
     dispersion, quantiles, shape (skew/kurtosis), zeros and negatives.
     """
-    mask = column.mask()
-    values = column.values_array()[~mask].astype(float)
-    if len(values) == 0:
+    parts = compressed_chunks(column)
+    partial = merged_numeric_partial(parts)
+    if partial is None:
         return {"count": 0}
-    count = len(values)
+    values = gather_compressed(parts)
+    count = partial.count
     quantiles = np.quantile(values, [0.05, 0.25, 0.5, 0.75, 0.95])
     total = float(np.sum(values))
     mean = total / count
@@ -33,18 +125,14 @@ def numeric_summary(column: Column) -> dict[str, Any]:
     pop_std = pop_variance**0.5
     # ddof=1 needs two observations; a lone value has zero dispersion.
     std = (pop_variance * count / (count - 1)) ** 0.5 if count > 1 else 0.0
-    minimum = float(np.min(values))
-    maximum = float(np.max(values))
-    diffs = np.diff(values)
-    zeros = int(np.sum(values == 0.0))
     return {
-        "count": int(count),
+        "count": count,
         "mean": mean,
         "std": std,
         "variance": float(std**2),
-        "min": minimum,
-        "max": maximum,
-        "range": maximum - minimum,
+        "min": partial.minimum,
+        "max": partial.maximum,
+        "range": partial.maximum - partial.minimum,
         "q05": float(quantiles[0]),
         "q25": float(quantiles[1]),
         "median": float(quantiles[2]),
@@ -54,12 +142,12 @@ def numeric_summary(column: Column) -> dict[str, Any]:
         "skewness": _skewness(centered, pop_std),
         "kurtosis": _kurtosis(centered, pop_std),
         "sum": total,
-        "zeros": zeros,
-        "zeros_fraction": zeros / count,
-        "negatives": int(np.sum(values < 0.0)),
+        "zeros": partial.zeros,
+        "zeros_fraction": partial.zeros / count,
+        "negatives": partial.negatives,
         "coefficient_of_variation": _coefficient_of_variation(mean, std),
-        "monotonic_increasing": bool(np.all(diffs >= 0)),
-        "monotonic_decreasing": bool(np.all(diffs <= 0)),
+        "monotonic_increasing": partial.monotonic_inc,
+        "monotonic_decreasing": partial.monotonic_dec,
     }
 
 
@@ -89,7 +177,13 @@ def _kurtosis(centered: np.ndarray, pop_std: float) -> float:
 
 
 def categorical_summary(column: Column, top_k: int = 10) -> dict[str, Any]:
-    """Descriptive statistics for a string/bool column."""
+    """Descriptive statistics for a string/bool column.
+
+    ``value_counts`` is the chunk-merge point: a chunked column folds
+    per-chunk Counters (exact integer addition, first-seen key order
+    preserved across sequential chunks), so ``most_common`` tie-breaking
+    matches the monolithic scan bit for bit.
+    """
     counts = column.value_counts()
     total = sum(counts.values())
     if total == 0:

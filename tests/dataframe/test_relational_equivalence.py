@@ -137,37 +137,28 @@ def reference_value_counts(frame, column):
 
 
 # ----------------------------------------------------------------------
-# Random inputs
+# Random inputs — the seeded generator lives in tests/conftest.py
+# (``random_values`` fixture); classes bind it via an autouse fixture.
 # ----------------------------------------------------------------------
-def _random_values(rng, dtype, n, missing):
-    values = []
-    for _ in range(n):
-        if rng.random() < missing:
-            values.append(None)
-        elif dtype == "int":
-            values.append(int(rng.integers(-6, 6)))
-        elif dtype == "float":
-            values.append(float(np.round(rng.normal(), 2)))
-        elif dtype == "bool":
-            values.append(bool(rng.integers(0, 2)))
-        elif dtype == "bigint":
-            values.append(10**25 + int(rng.integers(0, 4)))
-        else:
-            values.append(f"v{int(rng.integers(0, 5))}")
-    return values
+class _GeneratorBound:
+    @pytest.fixture(autouse=True)
+    def _bind_generator(self, random_values):
+        def narrow(rng, dtype, n, missing):
+            return random_values(rng, dtype, n, missing, profile="narrow")
 
+        self._random_values = narrow
 
-def _mixed_frame(seed, n, missing=0.25):
-    rng = np.random.default_rng(seed)
-    return DataFrame.from_dict(
-        {
-            "i": _random_values(rng, "int", n, missing),
-            "f": _random_values(rng, "float", n, missing),
-            "b": _random_values(rng, "bool", n, missing),
-            "s": _random_values(rng, "string", n, missing),
-            "big": _random_values(rng, "bigint", n, missing),
-        }
-    )
+    def _mixed_frame(self, seed, n, missing=0.25):
+        rng = np.random.default_rng(seed)
+        return DataFrame.from_dict(
+            {
+                "i": self._random_values(rng, "int", n, missing),
+                "f": self._random_values(rng, "float", n, missing),
+                "b": self._random_values(rng, "bool", n, missing),
+                "s": self._random_values(rng, "string", n, missing),
+                "big": self._random_values(rng, "bigint", n, missing),
+            }
+        )
 
 
 def _assert_frames_identical(actual, expected):
@@ -187,10 +178,10 @@ CASES = [(seed, n) for seed in (0, 1, 2, 7) for n in (0, 1, 23, 60)]
 
 
 @pytest.mark.parametrize("seed,n", CASES)
-class TestSortEquivalence:
+class TestSortEquivalence(_GeneratorBound):
     @pytest.mark.parametrize("descending", [False, True])
     def test_sort_matches_reference(self, seed, n, descending):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         for keys in KEY_SETS:
             _assert_frames_identical(
                 sort_by(frame, keys, descending=descending),
@@ -198,14 +189,14 @@ class TestSortEquivalence:
             )
 
     def test_sort_no_columns_is_identity(self, seed, n):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         _assert_frames_identical(sort_by(frame, []), frame)
 
 
 @pytest.mark.parametrize("seed,n", CASES)
-class TestGroupEquivalence:
+class TestGroupEquivalence(_GeneratorBound):
     def test_group_indices_matches_reference(self, seed, n):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         for keys in KEY_SETS:
             mine = group_indices(frame, keys)
             ref = reference_group_indices(frame, keys)
@@ -213,7 +204,7 @@ class TestGroupEquivalence:
             assert list(mine) == list(ref), "first-occurrence key order"
 
     def test_group_by_fast_aggregators_match_reference(self, seed, n):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         aggregations = {
             "i_sum": ("i", "sum"),
             "i_mean": ("i", "mean"),
@@ -234,7 +225,7 @@ class TestGroupEquivalence:
             )
 
     def test_group_by_arbitrary_callable_matches_reference(self, seed, n):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         spread = lambda values: max(values) - min(values)  # noqa: E731
         aggregations = {"spread": ("f", spread), "n": ("i", len)}
         for keys in (["s"], ["i", "b"]):
@@ -244,7 +235,7 @@ class TestGroupEquivalence:
             )
 
     def test_value_counts_matches_counter(self, seed, n):
-        frame = _mixed_frame(seed, n)
+        frame = self._mixed_frame(seed, n)
         for name in frame.column_names:
             _assert_frames_identical(
                 value_counts_frame(frame, name),
@@ -253,17 +244,17 @@ class TestGroupEquivalence:
 
 
 @pytest.mark.parametrize("seed", [0, 1, 5])
-class TestJoinEquivalence:
+class TestJoinEquivalence(_GeneratorBound):
     def _pair(self, seed, n_left=45, n_right=30):
         rng = np.random.default_rng(seed + 1000)
-        left = _mixed_frame(seed, n_left)
+        left = self._mixed_frame(seed, n_left)
         right = DataFrame.from_dict(
             {
-                "i": _random_values(rng, "int", n_right, 0.25),
-                "s": _random_values(rng, "string", n_right, 0.25),
-                "big": _random_values(rng, "bigint", n_right, 0.25),
-                "f": _random_values(rng, "float", n_right, 0.25),
-                "extra": _random_values(rng, "float", n_right, 0.1),
+                "i": self._random_values(rng, "int", n_right, 0.25),
+                "s": self._random_values(rng, "string", n_right, 0.25),
+                "big": self._random_values(rng, "bigint", n_right, 0.25),
+                "f": self._random_values(rng, "float", n_right, 0.25),
+                "extra": self._random_values(rng, "float", n_right, 0.1),
             }
         )
         return left, right
@@ -292,14 +283,14 @@ class TestJoinEquivalence:
         rng = np.random.default_rng(seed)
         left = DataFrame.from_dict(
             {
-                "k": _random_values(rng, "int", 20, 0.2),
-                "v": _random_values(rng, "string", 20, 0.2),
+                "k": self._random_values(rng, "int", 20, 0.2),
+                "v": self._random_values(rng, "string", 20, 0.2),
             }
         )
         right = DataFrame.from_dict(
             {
-                "k": _random_values(rng, "int", 15, 0.2),
-                "v": _random_values(rng, "float", 15, 0.2),
+                "k": self._random_values(rng, "int", 15, 0.2),
+                "v": self._random_values(rng, "float", 15, 0.2),
             }
         )
         joined = inner_join(left, right, on=["k"])

@@ -61,22 +61,6 @@ class ReferenceColumn:
         return list(seen)
 
 
-def _random_values(rng: np.random.Generator, dtype: str, n: int, missing: float):
-    values = []
-    for _ in range(n):
-        if rng.random() < missing:
-            values.append(None)
-        elif dtype == "int":
-            values.append(int(rng.integers(-50, 50)))
-        elif dtype == "float":
-            values.append(float(np.round(rng.normal(), 3)))
-        elif dtype == "bool":
-            values.append(bool(rng.integers(0, 2)))
-        else:
-            values.append(f"v{int(rng.integers(0, 12))}")
-    return values
-
-
 def _assert_values_identical(actual: list, expected: list):
     """Element-wise equality including exact Python types."""
     assert len(actual) == len(expected)
@@ -97,8 +81,15 @@ CASES = [
 
 @pytest.mark.parametrize("dtype,seed,n,missing", CASES)
 class TestColumnEquivalence:
+    @pytest.fixture(autouse=True)
+    def _bind_generator(self, random_values):
+        # Shared seeded generator from tests/conftest.py.
+        self._random_values = random_values
+
     def _pair(self, dtype, seed, n, missing):
-        values = _random_values(np.random.default_rng(seed), dtype, n, missing)
+        values = self._random_values(
+            np.random.default_rng(seed), dtype, n, missing
+        )
         return Column("x", values), ReferenceColumn("x", values), values
 
     def test_construction_and_values(self, dtype, seed, n, missing):
@@ -132,7 +123,7 @@ class TestColumnEquivalence:
     def test_set_within_dtype(self, dtype, seed, n, missing):
         column, reference, values = self._pair(dtype, seed, n, missing)
         rng = np.random.default_rng(seed + 100)
-        replacements = _random_values(rng, dtype, 5, missing=0.3)
+        replacements = self._random_values(rng, dtype, 5, missing=0.3)
         for replacement in replacements:
             index = int(rng.integers(0, len(values)))
             column.set(index, replacement)
@@ -247,14 +238,19 @@ class TestDegenerateColumns:
 
 
 class TestDataFrameEquivalence:
+    @pytest.fixture(autouse=True)
+    def _bind_generator(self, random_values):
+        # Shared seeded generator from tests/conftest.py.
+        self._random_values = random_values
+
     def _frame(self, seed=0, n=40):
         rng = np.random.default_rng(seed)
         return DataFrame.from_dict(
             {
-                "i": _random_values(rng, "int", n, 0.2),
-                "f": _random_values(rng, "float", n, 0.2),
-                "b": _random_values(rng, "bool", n, 0.2),
-                "s": _random_values(rng, "string", n, 0.2),
+                "i": self._random_values(rng, "int", n, 0.2),
+                "f": self._random_values(rng, "float", n, 0.2),
+                "b": self._random_values(rng, "bool", n, 0.2),
+                "s": self._random_values(rng, "string", n, 0.2),
             }
         )
 
