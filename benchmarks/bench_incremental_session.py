@@ -1,0 +1,114 @@
+"""Ablation — incremental re-profile/re-score via the artifact cache.
+
+Simulates the dashboard's interactive loop at growing row counts: cold
+profile, cache-populating profile, a 1%-of-cells repair concentrated in
+two columns, then the incremental re-profile and re-score served by the
+session :class:`~repro.core.artifacts.ArtifactStore`. Records the
+cold/warm trajectory, the recompute set (cache misses), and asserts the
+warm outputs bit-identical to cold ones — the cached path is the *same*
+engine replaying content-addressed results, not an approximation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.artifacts import ArtifactStore
+from repro.core.quality import quality_summary
+from repro.dataframe import DataFrame
+from repro.profiling import profile
+
+from conftest import print_table
+from incremental_workload import (
+    N_CODES,
+    N_NUMERIC,
+    N_STRINGS,
+    make_incremental_frame,
+    one_percent_repair,
+)
+
+ROW_COUNTS = (20_000, 50_000, 100_000, 200_000)
+
+
+def _repair(frame: DataFrame, seed: int) -> DataFrame:
+    """Apply the shared 1%-of-cells two-column repair."""
+    return one_percent_repair(frame, seed).apply_to(frame)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_incremental_session_scaling(benchmark):
+    def run() -> list[dict]:
+        rows = []
+        for n_rows in ROW_COUNTS:
+            frame = make_incremental_frame(n_rows)
+            store = ArtifactStore(enabled=True)
+            cold_time, cold_report = _timed(lambda: profile(frame))
+            _timed(lambda: profile(frame, store=store))  # populate
+            repaired = _repair(frame, seed=1)
+            misses_before = store.misses
+            warm_time, warm_report = _timed(
+                lambda: profile(repaired, store=store)
+            )
+            recomputed = store.misses - misses_before
+            assert warm_report.to_json() == profile(repaired).to_json()
+            assert cold_report.to_json() != warm_report.to_json()
+
+            quality_cold_time, quality_cold = _timed(
+                lambda: quality_summary(repaired)
+            )
+            quality_warm_time, quality_warm = _timed(
+                lambda: quality_summary(repaired, store=store)
+            )
+            assert quality_warm == quality_cold
+            rows.append(
+                {
+                    "rows": n_rows,
+                    "cold_s": round(cold_time, 3),
+                    "warm_s": round(warm_time, 3),
+                    "speedup": round(cold_time / warm_time, 1),
+                    "misses": recomputed,
+                    "hit_rate": round(store.stats()["hit_rate"], 3),
+                    "quality_cold_s": round(quality_cold_time, 3),
+                    "quality_warm_s": round(quality_warm_time, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Incremental re-profile after a 1%-of-cells repair "
+        f"({N_NUMERIC + N_CODES + N_STRINGS} columns, 2 repaired)",
+        [
+            "rows",
+            "cold profile (s)",
+            "incremental (s)",
+            "speedup",
+            "artifacts recomputed",
+            "hit rate",
+            "quality cold (s)",
+            "quality warm (s)",
+        ],
+        [
+            [
+                row["rows"],
+                row["cold_s"],
+                row["warm_s"],
+                f"{row['speedup']}x",
+                row["misses"],
+                row["hit_rate"],
+                row["quality_cold_s"],
+                row["quality_warm_s"],
+            ]
+            for row in rows
+        ],
+    )
+    largest = rows[-1]
+    assert largest["speedup"] >= 5.0, (
+        f"incremental re-profile speedup {largest['speedup']}x < 5x at "
+        f"{largest['rows']} rows"
+    )

@@ -1,0 +1,60 @@
+"""Shared workload for the incremental re-profile budget and benchmark.
+
+One definition of the 20-column frame shape and the 1%-of-cells
+two-column repair, imported by both
+``tests/perf/test_hot_path_regression.py`` (the >= 5x budget) and
+``benchmarks/bench_incremental_session.py`` (the recorded trajectory),
+so the two always measure the same workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.repair.base import RepairResult
+
+N_NUMERIC = 16
+N_CODES = 2
+N_STRINGS = 2
+N_COLUMNS = N_NUMERIC + N_CODES + N_STRINGS
+
+#: The two columns every repair patch lands in (detection flags a strict
+#: column subset; incremental re-profiling serves the rest from cache).
+REPAIRED_COLUMNS = ("num0", "code0")
+
+
+def make_incremental_frame(n_rows: int, seed: int = 17) -> DataFrame:
+    """Mostly-complete numeric frame plus int codes and categoricals.
+
+    Complete numeric columns keep the Spearman full-rank fast path (the
+    realistic shape); the code/string columns give the categorical and
+    association kernels real work.
+    """
+    rng = np.random.default_rng(seed)
+    data: dict = {}
+    for j in range(N_NUMERIC):
+        data[f"num{j}"] = [float(v) for v in rng.normal(0.0, 1.0, n_rows)]
+    for j in range(N_CODES):
+        data[f"code{j}"] = [int(v) for v in rng.integers(0, 500, n_rows)]
+    for j in range(N_STRINGS):
+        data[f"cat{j}"] = [f"g{int(v)}" for v in rng.integers(0, 50, n_rows)]
+    return DataFrame.from_dict(data)
+
+
+def one_percent_repair(frame: DataFrame, seed: int) -> RepairResult:
+    """1% of all cells repaired, split across :data:`REPAIRED_COLUMNS`."""
+    rng = np.random.default_rng(seed)
+    per_column = (frame.num_rows * frame.num_columns) // (
+        100 * len(REPAIRED_COLUMNS)
+    )
+    repairs: dict = {}
+    for name in REPAIRED_COLUMNS:
+        rows = rng.choice(frame.num_rows, size=per_column, replace=False)
+        for row in rows.tolist():
+            repairs[(row, name)] = (
+                float(rng.normal())
+                if name.startswith("num")
+                else int(rng.integers(0, 500))
+            )
+    return RepairResult(tool="perf", repairs=repairs)

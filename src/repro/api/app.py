@@ -77,6 +77,12 @@ def create_app(lens: DataLens) -> Router:
         session = lens.session(request.path_params["name"])
         return session.quality_metrics()
 
+    @router.get("/datasets/{name}/cache")
+    def get_cache_stats(request: Request) -> dict:
+        """Artifact-cache counters for the session (hits/misses/evictions)."""
+        session = lens.session(request.path_params["name"])
+        return session.cache_stats()
+
     # ------------------------------------------------------------------
     @router.post("/datasets/{name}/rules/discover")
     def discover_rules(request: Request) -> dict:
@@ -241,7 +247,11 @@ def create_app(lens: DataLens) -> Router:
         session = lens.session(request.path_params["name"])
         version = int(_require(request.body, "version"))
         new_version = session.delta.restore(version)
-        session.frame = session.delta.read(new_version)
+        # load_version both swaps the working frame and resets
+        # frame-derived state (profile report, detections, repair
+        # proposal), so the next GET /profile reflects the restored
+        # content — incrementally, via the session artifact store.
+        session.load_version(new_version)
         return {"restored_from": version, "new_version": new_version}
 
     # ------------------------------------------------------------------

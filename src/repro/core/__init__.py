@@ -1,5 +1,6 @@
 """DataLens core: controller, iterative cleaning, user-in-the-loop, DataSheets."""
 
+from .artifacts import ARTIFACT_CACHE_ENV, ArtifactStore, cache_enabled_by_env
 from .controller import DataLens, DataLensSession
 from .datasheet import DataSheet
 from .explain import CellExplanation, Evidence, explain_cell, explain_session
@@ -41,8 +42,11 @@ from .registry import (
 from .tagging import TagRegistry
 
 __all__ = [
+    "ARTIFACT_CACHE_ENV",
+    "ArtifactStore",
     "CLASSIFICATION",
     "COMPOSITE_PRESETS",
+    "cache_enabled_by_env",
     "CellExplanation",
     "Evidence",
     "ParsedRule",

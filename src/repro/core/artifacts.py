@@ -1,0 +1,248 @@
+"""Content-addressed artifact cache for session-wide analysis reuse.
+
+DataLens is an interactive loop: profile → detect → repair → re-profile
+→ re-score, and every stage re-derives artifacts (per-column profiles,
+histograms, correlation pairs, missing tables, detection masks, stripped
+partitions, quality metrics) from the same column data. The
+:class:`ArtifactStore` makes that reuse explicit: every artifact is
+keyed by the *content fingerprints* of the columns it was computed from
+(:meth:`repro.dataframe.Column.fingerprint`), an artifact ``kind``
+string, and the kernel parameters.
+
+Artifact / fingerprint contract
+-------------------------------
+* **Keys are content, not identity.** ``(kind, fingerprints, params)``
+  names the value of a pure function of column content. Two frames with
+  equal columns — a Delta version re-read from disk, a repaired copy's
+  untouched columns, a chunked view of a monolithic frame — share
+  artifacts automatically; no consumer tracks which frame object
+  computed what.
+* **Entries never go stale.** Mutation (``set`` / ``set_many`` /
+  ``set_cells`` / ``apply_patches``) changes the touched column's
+  fingerprint, so new lookups simply miss and recompute; entries for the
+  old content remain valid (revisiting a Delta version re-profiles
+  straight from cache) until the LRU bound evicts them. Explicit
+  invalidation is therefore a memory decision, not a correctness one.
+* **What dirties what.** A patch to column *C* dirties: C's per-column
+  artifacts (profile section, histogram, validity, detection mask,
+  single-column partition, spearman ranks), every *pairwise* artifact
+  with C on either side (correlation/association pairs, multi-column
+  partitions and FD errors naming C), and every *frame-level* artifact
+  (duplicate rows, missing tables, consistency over rules touching C).
+  Artifacts over the other columns and pairs keep hitting — that is the
+  incremental re-profile path the dashboard's repair loop rides on.
+* **Chunked semantics.** Fingerprints are computed over the dense
+  logical content, so chunk layout is invisible: artifacts computed from
+  a monolithic frame are served to its chunked twin and vice versa.
+  This is sound because the chunked kernels are bit-identical to the
+  monolithic ones by construction (see :mod:`repro.dataframe.chunked`).
+* **Cached results are bit-identical to cold results.** The store only
+  ever returns what a kernel produced for identical input content;
+  consumers get deep copies of mutable artifacts (``copy=True`` puts) so
+  downstream mutation cannot corrupt the cache.
+
+Disabling
+---------
+Setting ``DATALENS_ARTIFACT_CACHE=0`` (or ``false`` / ``off`` / ``no``)
+in the environment makes every store constructed without an explicit
+``enabled`` flag a no-op: gets always miss, puts are dropped, and every
+consumer runs its cold path — CI runs the full suite in both modes.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Iterable
+
+#: Environment variable gating the cache. Any value other than the
+#: falsey tokens below (default: unset = enabled) keeps caching on.
+ARTIFACT_CACHE_ENV = "DATALENS_ARTIFACT_CACHE"
+
+_FALSEY = {"0", "false", "off", "no"}
+
+#: Default entry bound: generous for interactive sessions (a 20-column
+#: profile run populates well under 300 entries) while keeping pathological
+#: loops (iterative cleaning over hundreds of candidate frames) bounded.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether the environment allows artifact caching (default: yes)."""
+    raw = os.environ.get(ARTIFACT_CACHE_ENV, "").strip().lower()
+    return raw not in _FALSEY
+
+
+Key = tuple[str, tuple[str, ...], tuple]
+
+
+class ArtifactStore:
+    """Bounded LRU cache of analysis artifacts keyed by column content.
+
+    The store is deliberately duck-typed by its consumers (profiling,
+    detection, quality, FD discovery take ``store=None``-defaulted
+    parameters and only call :meth:`get` / :meth:`put`), so analysis
+    modules carry no import dependency on the core package.
+
+    Thread safety: :meth:`get` / :meth:`put` / :meth:`stats` /
+    :meth:`clear` hold an internal lock, so one session store can be
+    shared by the threaded REST server and the thread-parallel profile
+    path. The lock is never held while an artifact is *computed* —
+    concurrent misses on one key may compute twice and last-put wins,
+    which is harmless because values are pure functions of the key.
+
+    The size bound counts entries, not bytes: per-column artifacts are
+    small dicts, but rank vectors and stripped partitions scale with row
+    count, so a long session over very large frames can hold
+    ``max_entries`` × O(rows) memory in the worst case. Pass a smaller
+    ``max_entries`` for memory-tight deployments (a byte-aware bound is
+    a roadmap item).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        enabled: bool | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.enabled = cache_enabled_by_env() if enabled is None else bool(enabled)
+        #: key -> (value, deepcopy_on_get)
+        self._entries: OrderedDict[Key, tuple[Any, bool]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self._by_kind: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(
+        kind: str, fingerprints: Iterable[str], params: Iterable[Any] = ()
+    ) -> Key:
+        """Canonical key tuple; ``params`` must be hashable values."""
+        return (str(kind), tuple(fingerprints), tuple(params))
+
+    def _kind_stats(self, kind: str) -> dict[str, int]:
+        stats = self._by_kind.get(kind)
+        if stats is None:
+            stats = self._by_kind[kind] = {"hits": 0, "misses": 0, "puts": 0}
+        return stats
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        kind: str,
+        fingerprints: Iterable[str],
+        params: Iterable[Any] = (),
+    ) -> tuple[bool, Any]:
+        """Look up an artifact: ``(True, value)`` on hit, else ``(False, None)``.
+
+        Hits refresh LRU recency. Values stored with ``copy=True`` come
+        back as deep copies, so callers may mutate them freely.
+        """
+        if not self.enabled:
+            return False, None
+        key = self.make_key(kind, fingerprints, params)
+        with self._lock:
+            entry = self._entries.get(key)
+            kind_stats = self._kind_stats(key[0])
+            if entry is None:
+                self.misses += 1
+                kind_stats["misses"] += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            kind_stats["hits"] += 1
+            value, deep = entry
+        # Deep copies happen outside the lock — only the (immutable-by-
+        # convention) stored reference is read under it.
+        return True, (_copy.deepcopy(value) if deep else value)
+
+    def put(
+        self,
+        kind: str,
+        fingerprints: Iterable[str],
+        params: Iterable[Any],
+        value: Any,
+        copy: bool = False,
+    ) -> None:
+        """Publish an artifact; evicts least-recently-used beyond the bound.
+
+        ``copy=True`` snapshots the value on the way in *and* hands deep
+        copies back out — use it for mutable artifacts (dicts, lists).
+        Immutable artifacts (floats, tuples, read-mostly partitions) skip
+        the copies.
+        """
+        if not self.enabled:
+            return
+        key = self.make_key(kind, fingerprints, params)
+        snapshot = _copy.deepcopy(value) if copy else value
+        with self._lock:
+            self._entries[key] = (snapshot, copy)
+            self._entries.move_to_end(key)
+            self.puts += 1
+            self._kind_stats(key[0])["puts"] += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def cached(
+        self,
+        kind: str,
+        fingerprints: Iterable[str],
+        params: Iterable[Any],
+        compute: Callable[[], Any],
+        copy: bool = False,
+    ) -> Any:
+        """Get-or-compute convenience wrapper around :meth:`get`/:meth:`put`."""
+        fingerprints = tuple(fingerprints)
+        params = tuple(params)
+        hit, value = self.get(kind, fingerprints, params)
+        if hit:
+            return value
+        value = compute()
+        self.put(kind, fingerprints, params, value, copy=copy)
+        return value
+
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        """Disabled stores are falsy: consumers normalize them to None.
+
+        Every consumer entry point runs ``store = store if store else
+        None``, so a disabled store takes the *true* cold path — no
+        fingerprint hashing, no key construction — exactly as if no
+        store were passed.
+        """
+        return self.enabled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the dashboard / REST cache endpoint."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "by_kind": {
+                    kind: dict(counts)
+                    for kind, counts in sorted(self._by_kind.items())
+                },
+            }

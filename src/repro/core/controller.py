@@ -32,6 +32,7 @@ from ..profiling import ProfileReport, profile
 from ..repair import RepairResult
 from ..tracking import DETECTION_EXPERIMENT, REPAIR_EXPERIMENT, TrackingClient
 from ..versioning import DeltaTable
+from .artifacts import ArtifactStore
 from .datasheet import DataSheet
 from .iterative import IterativeCleaner, IterativeCleaningResult
 from .labeling import LabelingOutcome, LabelingSession
@@ -41,7 +42,18 @@ from .tagging import TagRegistry
 
 
 class DataLensSession:
-    """All state the dashboard holds for one ingested dataset."""
+    """All state the dashboard holds for one ingested dataset.
+
+    The session owns a content-addressed :class:`ArtifactStore`
+    (``self.artifacts``): profiling, detection, quality scoring, and FD
+    discovery all publish/reuse per-column and per-pair artifacts keyed
+    by column fingerprints, so the paper's interactive loop (profile →
+    detect → repair → re-profile → re-score) recomputes only what the
+    last action actually changed. Because keys are content fingerprints,
+    mutation and time travel never serve stale artifacts — a patched
+    column simply misses and recomputes, while revisiting an old Delta
+    version hits the entries computed for it earlier.
+    """
 
     def __init__(self, controller: "DataLens", name: str) -> None:
         self.controller = controller
@@ -54,6 +66,7 @@ class DataLensSession:
         self.rule_set = RuleSet()
         self.tags = TagRegistry()
         self.labels: dict[Cell, bool] = {}
+        self.artifacts = ArtifactStore()
         self.profile_report: ProfileReport | None = None
         self.detection_results: dict[str, DetectionResult] = {}
         self.detected_cells: set[Cell] = set()
@@ -67,9 +80,29 @@ class DataLensSession:
     # Versioning (§5, Delta Lake)
     # ------------------------------------------------------------------
     def load_version(self, version: int) -> DataFrame:
-        """Time travel: make an earlier Delta version the working frame."""
+        """Time travel: make an earlier Delta version the working frame.
+
+        Frame-derived state (profile report, detection results and
+        consolidated cells, repair proposal) describes the *previous*
+        working frame and is reset so no stale results leak into the new
+        one. The artifact store survives: its keys are content
+        fingerprints, so the loaded version re-profiles from the cache
+        entries computed when its content was last seen.
+        """
         self.frame = self.delta.read(version)
+        self.invalidate_derived_state()
         return self.frame
+
+    def invalidate_derived_state(self) -> None:
+        """Drop analysis results tied to the previous working frame."""
+        self.profile_report = None
+        self.detection_results = {}
+        self.detected_cells = set()
+        self.repair_result = None
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Hit/miss/eviction counters of the session's artifact store."""
+        return self.artifacts.stats()
 
     def version_history(self) -> list[dict[str, Any]]:
         return [commit.to_dict() for commit in self.delta.history()]
@@ -82,11 +115,15 @@ class DataLensSession:
 
         ``n_jobs`` defaults to the controller-level ``profile_jobs``
         setting; frames ingested through a chunked loader profile via
-        per-chunk partial aggregates either way.
+        per-chunk partial aggregates either way. Runs through the
+        session artifact store, so after a repair only artifacts
+        touching patched columns recompute (bit-identically).
         """
         if n_jobs is None:
             n_jobs = self.controller.profile_jobs
-        self.profile_report = profile(self.frame, n_jobs=n_jobs)
+        self.profile_report = profile(
+            self.frame, n_jobs=n_jobs, store=self.artifacts
+        )
         return self.profile_report
 
     def discover_rules(
@@ -97,9 +134,13 @@ class DataLensSession:
     ) -> list[FunctionalDependency]:
         """Automated rule extraction; results await user validation."""
         if algorithm == "tane":
-            rules = discover_fds(self.frame, max_lhs_size=max_lhs_size)
+            rules = discover_fds(
+                self.frame, max_lhs_size=max_lhs_size, store=self.artifacts
+            )
         elif algorithm == "hyfd":
-            rules = discover_fds_hyfd(self.frame, max_lhs_size=max_lhs_size)
+            rules = discover_fds_hyfd(
+                self.frame, max_lhs_size=max_lhs_size, store=self.artifacts
+            )
         elif algorithm == "approximate":
             rules = approximate_fds(
                 self.frame, tolerance=tolerance, max_lhs_size=max_lhs_size
@@ -189,6 +230,7 @@ class DataLensSession:
             labels=dict(self.labels),
             tagged_values=set(self.tags.values()),
             seed=self.controller.seed,
+            artifact_store=self.artifacts,
         )
 
     def run_detection(
@@ -265,7 +307,11 @@ class DataLensSession:
     # ------------------------------------------------------------------
     def quality_metrics(self, frame: DataFrame | None = None) -> dict[str, float]:
         target = frame if frame is not None else self.frame
-        return quality_summary(target, rules=self.rule_set.confirmed_rules())
+        return quality_summary(
+            target,
+            rules=self.rule_set.confirmed_rules(),
+            store=self.artifacts,
+        )
 
     def iterative_clean(
         self,

@@ -5,6 +5,12 @@ combined row codes (:meth:`~repro.dataframe.DataFrame.column_codes`) for
 uniqueness, and per-column value codes + bincounts for validity — the
 dashboard's quality tab costs O(columns) array kernels, not O(cells)
 Python loops.
+
+With a ``store`` (:class:`~repro.core.artifacts.ArtifactStore`) the
+metrics become incremental: per-column validity counts, the duplicate-
+row artifact (shared with profiling under the same ``frame:duplicates``
+key), and per-rule FD violation sets are cached by content fingerprint,
+so re-scoring after a repair recomputes only what the patch dirtied.
 """
 
 from __future__ import annotations
@@ -13,9 +19,10 @@ from typing import Any
 
 import numpy as np
 
-from ..dataframe import DataFrame
+from ..dataframe import Column, DataFrame
 from ..dataframe import types as _dtypes
 from ..fd import FunctionalDependency
+from ..profiling.report import duplicate_row_artifact
 
 
 def completeness(frame: DataFrame) -> float:
@@ -26,61 +33,101 @@ def completeness(frame: DataFrame) -> float:
     return 1.0 - frame.missing_count() / total
 
 
-def uniqueness(frame: DataFrame) -> float:
+def uniqueness(frame: DataFrame, store=None) -> float:
     """Fraction of rows that are not exact duplicates of earlier rows."""
     if frame.num_rows == 0:
         return 1.0
-    return 1.0 - len(frame.duplicate_row_indices()) / frame.num_rows
+    if not store:  # falsy when disabled: cold path, no hashing
+        n_duplicates = len(frame.duplicate_row_indices())
+    else:
+        n_duplicates = len(duplicate_row_artifact(frame, store))
+    return 1.0 - n_duplicates / frame.num_rows
 
 
-def validity(frame: DataFrame) -> float:
+def _column_validity(column: Column) -> tuple[int, int]:
+    """``(valid, total)`` non-missing cell counts for one column."""
+    mask = column.mask()
+    n_valid = len(column) - int(mask.sum())
+    if column.is_numeric():
+        finite = column.values_array()[~mask].astype(float)
+        if len(finite) < 4:
+            return len(finite), n_valid
+        q1, q3 = np.quantile(finite, [0.25, 0.75])
+        iqr = float(q3 - q1)
+        if iqr == 0.0:
+            return len(finite), n_valid
+        low = q1 - 3.0 * iqr
+        high = q3 + 3.0 * iqr
+        return int(np.sum((finite >= low) & (finite <= high))), n_valid
+    if n_valid == 0:
+        return 0, 0
+    codes, n_groups = column.codes()
+    counts = np.bincount(codes[~mask], minlength=n_groups)
+    distinct = int(np.sum(counts > 0))
+    if distinct > max(20, 0.5 * n_valid):
+        return n_valid, n_valid  # free-text column: no domain check
+    return int(counts[counts > 1].sum()), n_valid
+
+
+def validity(frame: DataFrame, store=None) -> float:
     """Fraction of cells passing per-column domain checks.
 
     Numeric cells must fall inside the robust band
     ``[q1 - 3*IQR, q3 + 3*IQR]``; categorical cells must not be one-off
-    levels in an otherwise low-cardinality column.
+    levels in an otherwise low-cardinality column. Per-column counts are
+    cached by content fingerprint when a store is given.
     """
     total = 0
     valid = 0
     for name in frame.column_names:
         column = frame.column(name)
-        mask = column.mask()
-        n_valid = len(column) - int(mask.sum())
-        total += n_valid
-        if column.is_numeric():
-            finite = column.values_array()[~mask].astype(float)
-            if len(finite) < 4:
-                valid += len(finite)
-                continue
-            q1, q3 = np.quantile(finite, [0.25, 0.75])
-            iqr = float(q3 - q1)
-            if iqr == 0.0:
-                valid += len(finite)
-                continue
-            low = q1 - 3.0 * iqr
-            high = q3 + 3.0 * iqr
-            valid += int(np.sum((finite >= low) & (finite <= high)))
+        if not store:
+            counts = _column_validity(column)
         else:
-            if n_valid == 0:
-                continue
-            codes, n_groups = column.codes()
-            counts = np.bincount(codes[~mask], minlength=n_groups)
-            distinct = int(np.sum(counts > 0))
-            if distinct > max(20, 0.5 * n_valid):
-                valid += n_valid  # free-text column: no domain check
-                continue
-            valid += int(counts[counts > 1].sum())
+            counts = store.cached(
+                "quality:validity", (column.fingerprint(),), (),
+                lambda column=column: _column_validity(column),
+            )
+        valid += counts[0]
+        total += counts[1]
     return valid / total if total else 1.0
 
 
-def consistency(frame: DataFrame, rules: list[FunctionalDependency]) -> float:
-    """Fraction of cells not violating any active FD rule."""
+def consistency(
+    frame: DataFrame, rules: list[FunctionalDependency], store=None
+) -> float:
+    """Fraction of cells not violating any active FD rule.
+
+    Per-rule violation sets are cached by the fingerprints of the
+    columns the rule names, so after a repair only rules touching a
+    patched column re-evaluate.
+    """
     total = frame.num_rows * frame.num_columns
     if total == 0 or not rules:
         return 1.0
     violating: set = set()
     for rule in rules:
-        violating |= rule.violations(frame)
+        # Duck-typed rules (anything with violations()) stay supported:
+        # only rules that expose determinants/dependent name their input
+        # columns precisely enough to be content-addressed.
+        determinants = getattr(rule, "determinants", None)
+        dependent = getattr(rule, "dependent", None)
+        if (
+            not store
+            or determinants is None
+            or dependent is None
+            or any(name not in frame for name in (*determinants, dependent))
+        ):
+            violating |= rule.violations(frame)
+            continue
+        involved = (*determinants, dependent)
+        cells = store.cached(
+            "quality:fd_violations",
+            tuple(frame.column(name).fingerprint() for name in involved),
+            (tuple(determinants), dependent),
+            lambda rule=rule: tuple(sorted(rule.violations(frame))),
+        )
+        violating.update(cells)
     return 1.0 - len(violating) / total
 
 
@@ -119,13 +166,14 @@ def quality_summary(
     frame: DataFrame,
     rules: list[FunctionalDependency] | None = None,
     reference: DataFrame | None = None,
+    store=None,
 ) -> dict[str, Any]:
     """All quality dimensions plus their mean as an overall score."""
     metrics = {
         "completeness": completeness(frame),
-        "uniqueness": uniqueness(frame),
-        "validity": validity(frame),
-        "consistency": consistency(frame, rules or []),
+        "uniqueness": uniqueness(frame, store=store),
+        "validity": validity(frame, store=store),
+        "consistency": consistency(frame, rules or [], store=store),
     }
     if reference is not None:
         metrics["accuracy"] = accuracy_against(frame, reference)

@@ -58,12 +58,21 @@ def render_left_panel(session: DataLensSession) -> str:
     repairers = "".join(
         f"<span class='badge'>{escape(name)}</span>" for name in repairer_names()
     )
+    stats = session.cache_stats()
+    cache_line = (
+        f"<p class='cache'>entries: {stats['entries']}; "
+        f"hit rate: {stats['hit_rate']:.0%} "
+        f"({stats['hits']} hits / {stats['misses']} misses)</p>"
+        if stats["enabled"]
+        else "<p class='cache'>disabled</p>"
+    )
     return (
         "<div class='panel left'><h3>Data Upload</h3>"
         f"<p>dataset: <b>{escape(session.name)}</b><br>"
         f"shape: {session.frame.num_rows} × {session.frame.num_columns}</p>"
         f"<h3>Detection Tools</h3><p>{detectors}</p>"
-        f"<h3>Repair Tools</h3><p>{repairers}</p></div>"
+        f"<h3>Repair Tools</h3><p>{repairers}</p>"
+        f"<h3>Artifact Cache</h3>{cache_line}</div>"
     )
 
 

@@ -186,7 +186,13 @@ class ChunkedColumn(Column):
         out = cls.__new__(cls)
         out.name = column.name
         out.dtype = column.dtype
-        out._codes_cache = None
+        # Re-chunking preserves content row for row, so the source column's
+        # content-derived caches stay valid (cross-chunk codes() equal the
+        # monolithic factorization by contract; fingerprints are computed
+        # over the dense pair either way).
+        out._codes_cache = column._codes_cache
+        out._fingerprint_cache = column._fingerprint_cache
+        out._mask_fingerprint_cache = column._mask_fingerprint_cache
         out._chunk_lengths = lengths
         out._shard_data = None
         out._shard_masks = None
@@ -220,6 +226,8 @@ class ChunkedColumn(Column):
         out.name = name
         out.dtype = dtype
         out._codes_cache = None
+        out._fingerprint_cache = None
+        out._mask_fingerprint_cache = None
         out._chunk_lengths = tuple(len(data) for data, _ in pairs)
         out._shard_data = [data for data, _ in pairs]
         out._shard_masks = [mask for _, mask in pairs]

@@ -45,6 +45,38 @@ them. The guarantees those kernels rely on:
   ``set_many``, so repeated group-by/join/sort calls over an unchanged
   frame share one factorization.
 
+Fingerprint contract (content addressing)
+-----------------------------------------
+:meth:`fingerprint` digests a column's *logical content* — name, dtype,
+row count, null mask, and cell payloads — into a short hex string that
+the artifact layer (:mod:`repro.core.artifacts`) uses as a cache key.
+The guarantees:
+
+* **Equal content ⇒ equal fingerprint, across representations.** A
+  chunked column, a monolithic copy, and a column rebuilt from the same
+  values all hash identically (the digest is computed over the dense
+  ``(_data, _mask)`` pair, so chunk layout is invisible). Artifacts
+  computed for one representation are therefore reusable for any other —
+  which is sound precisely because the chunked kernels are bit-identical
+  to the monolithic ones.
+* **Different content ⇒ different fingerprint.** The encoding is
+  injective over the storage contract: dtype and length are hashed
+  explicitly (so ``[1, 2]`` as int, float, and string all differ), the
+  mask is hashed separately from the payloads (so a missing cell never
+  collides with a cell holding the fill value), and object payloads are
+  hashed per-cell via ``repr`` with an out-of-band separator (so
+  ``["ab", "c"]`` cannot collide with ``["a", "bc"]``). Non-object
+  payloads rely on masked slots holding the canonical
+  :data:`~repro.dataframe.types.FILL_VALUES` — which every construction
+  path guarantees (and :meth:`ChunkedColumn.from_shards
+  <repro.dataframe.chunked.ChunkedColumn.from_shards>` requires).
+* **Mutation dirties exactly the touched column.** The digest is cached
+  on the column and invalidated by ``set`` / ``set_many`` (hence by
+  ``DataFrame.set_cells`` and ``repair.apply_patches``); a 3-cell patch
+  to one column leaves every other column's cached fingerprint intact.
+  :meth:`copy` carries the cached fingerprint (and codes) to the clone,
+  so repair's copy-then-patch flow re-hashes only the patched columns.
+
 Chunking contract
 -----------------
 Every column also exposes the shard iteration API used by the chunked
@@ -63,6 +95,7 @@ boundary invariants and the exact merge rules.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -114,7 +147,8 @@ class Column:
     see the module docstring for the storage contract.
     """
 
-    __slots__ = ("name", "dtype", "_data", "_mask", "_codes_cache")
+    __slots__ = ("name", "dtype", "_data", "_mask", "_codes_cache",
+                 "_fingerprint_cache", "_mask_fingerprint_cache")
 
     def __init__(self, name: str, values: Iterable[Any], dtype: str | None = None):
         materialized = list(values)
@@ -127,6 +161,8 @@ class Column:
         coerced = [_types.coerce(value, dtype) for value in materialized]
         self._data, self._mask = _pack(coerced, dtype)
         self._codes_cache: tuple[np.ndarray, int] | None = None
+        self._fingerprint_cache: str | None = None
+        self._mask_fingerprint_cache: str | None = None
 
     @classmethod
     def _from_arrays(
@@ -145,6 +181,8 @@ class Column:
         column._data = data
         column._mask = mask
         column._codes_cache = None
+        column._fingerprint_cache = None
+        column._mask_fingerprint_cache = None
         return column
 
     # ------------------------------------------------------------------
@@ -215,6 +253,8 @@ class Column:
     def set(self, index: int, value: Any) -> None:
         """Overwrite one cell, widening the dtype if necessary."""
         self._codes_cache = None
+        self._fingerprint_cache = None
+        self._mask_fingerprint_cache = None
         try:
             coerced = _types.coerce(value, self.dtype)
         except (ValueError, TypeError):
@@ -261,6 +301,8 @@ class Column:
         if int(idx.min()) < -n or int(idx.max()) >= n:
             raise IndexError(f"index out of range for {n} rows")
         self._codes_cache = None
+        self._fingerprint_cache = None
+        self._mask_fingerprint_cache = None
         try:
             coerced = [_types.coerce(v, self.dtype) for v in materialized]
         except (ValueError, TypeError):
@@ -299,9 +341,17 @@ class Column:
         self._mask[idx] = missing
 
     def copy(self) -> "Column":
-        return Column._from_arrays(
+        out = Column._from_arrays(
             self.name, self.dtype, self._data.copy(), self._mask.copy()
         )
+        # A copy has identical content: carry the content-derived caches so
+        # repair's copy-then-patch flow re-derives them only for patched
+        # columns. The cached codes array is shared read-only (the engine
+        # never writes into it; mutation replaces the cache wholesale).
+        out._codes_cache = self._codes_cache
+        out._fingerprint_cache = self._fingerprint_cache
+        out._mask_fingerprint_cache = self._mask_fingerprint_cache
+        return out
 
     def rename(self, name: str) -> "Column":
         return Column._from_arrays(
@@ -397,6 +447,67 @@ class Column:
             n_groups += 1
         self._codes_cache = (codes, n_groups)
         return self._codes_cache
+
+    def fingerprint(self) -> str:
+        """Content digest for artifact caching (see the module docstring).
+
+        Returns a 32-hex-char blake2b digest over name, dtype, length,
+        null mask, and cell payloads. Equal logical content always hashes
+        equal (chunked vs monolithic, copies, rebuilt columns); any
+        visible difference — values, missingness, dtype, name, order —
+        hashes different. One benign corner: an int column whose mutation
+        history left it object-backed can hash differently from an
+        int64-backed twin — a false cache miss, never a false hit. The
+        digest is cached and invalidated by :meth:`set` / :meth:`set_many`,
+        so an unchanged column never pays for a second hash and a patched
+        column dirties only itself.
+        """
+        if self._fingerprint_cache is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.name.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+            digest.update(self.dtype.encode("ascii"))
+            digest.update(len(self._data).to_bytes(8, "little"))
+            digest.update(np.packbits(self._mask).tobytes())
+            data = self._data
+            if data.dtype == object:
+                # Per-cell repr with an out-of-band separator: repr always
+                # escapes control characters, so "\x1f" cannot appear in a
+                # cell's encoding and adjacent cells cannot be resegmented
+                # into a colliding payload. Masked slots hash as a marker
+                # repr can never emit, independent of their fill values.
+                payload = "\x1f".join(
+                    "\x00" if missing else repr(value)
+                    for value, missing in zip(data.tolist(), self._mask.tolist())
+                )
+                digest.update(payload.encode("utf-8", "surrogatepass"))
+            else:
+                # Masked slots hold the canonical fill values on every
+                # construction path, so the raw buffer is content-stable.
+                digest.update(data.dtype.str.encode("ascii"))
+                digest.update(data.tobytes())
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
+
+    def mask_fingerprint(self) -> str:
+        """Digest of the column's *missingness* only (name, length, mask).
+
+        Artifacts that depend solely on which cells are missing — the
+        missing tables of the profile report — key on this instead of
+        :meth:`fingerprint`, so a repair that overwrites values without
+        changing missingness leaves them cached. Invalidation follows
+        the same rules as :meth:`fingerprint` (any mutation clears it;
+        the mask may not actually have changed, in which case the
+        recomputed digest — and the cache key — come out identical).
+        """
+        if self._mask_fingerprint_cache is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.name.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+            digest.update(len(self._mask).to_bytes(8, "little"))
+            digest.update(np.packbits(self._mask).tobytes())
+            self._mask_fingerprint_cache = digest.hexdigest()
+        return self._mask_fingerprint_cache
 
     # ------------------------------------------------------------------
     # Chunk API (degenerate single-chunk case; see repro.dataframe.chunked)

@@ -303,6 +303,25 @@ class DataFrame:
     def copy(self) -> "DataFrame":
         return DataFrame(col.copy() for col in self._columns.values())
 
+    def column_fingerprints(self) -> tuple[str, ...]:
+        """Per-column content fingerprints in column order.
+
+        The tuple is the frame-level cache key used by artifacts that
+        depend on every column (duplicate rows, quality summaries); see
+        :meth:`Column.fingerprint
+        <repro.dataframe.column.Column.fingerprint>` for the contract.
+        """
+        return tuple(col.fingerprint() for col in self._columns.values())
+
+    def mask_fingerprints(self) -> tuple[str, ...]:
+        """Per-column missingness fingerprints in column order.
+
+        Key for artifacts that depend only on null masks (the missing
+        tables): repairs that overwrite values without changing
+        missingness keep those artifacts cached.
+        """
+        return tuple(col.mask_fingerprint() for col in self._columns.values())
+
     # ------------------------------------------------------------------
     # Chunking (see repro.dataframe.chunked for the contract)
     # ------------------------------------------------------------------

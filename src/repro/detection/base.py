@@ -30,6 +30,11 @@ class DetectionContext:
     labeler: Callable[[int, DataFrame], dict[Cell, bool]] | None = None
     labeling_budget: int = 20
     seed: int = 0
+    #: Optional :class:`~repro.core.artifacts.ArtifactStore` (duck-typed):
+    #: per-column detectors publish/reuse detection masks keyed by column
+    #: content fingerprint, making repeated runs over unchanged columns
+    #: cache hits.
+    artifact_store: Any = None
 
 
 @dataclass

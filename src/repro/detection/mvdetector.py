@@ -29,7 +29,10 @@ class MVDetector(Detector):
     Chunk-aware: the null-token verdict is decided once per distinct
     value on the column's cross-chunk ``codes()`` (equal strings in
     different chunks share one code), then the flagging pass walks the
-    shards with a running row offset.
+    shards with a running row offset. Per-column flagged rows are
+    published to the context's artifact store (keyed by column
+    fingerprint and the token set), so re-runs recompute only columns a
+    repair actually changed.
     """
 
     name = "mv_detector"
@@ -42,31 +45,46 @@ class MVDetector(Detector):
         if extra_null_tokens:
             self.null_tokens |= {token.lower() for token in extra_null_tokens}
 
+    def _column_rows(self, column) -> tuple[int, ...]:
+        """Flagged row indices for one column (truly missing + null tokens)."""
+        bad_by_code: np.ndarray | None = None
+        codes: np.ndarray | None = None
+        if column.dtype == "string" and len(column):
+            # Test each *distinct* value once against the null tokens
+            # and broadcast the verdict back through the value codes.
+            codes, n_groups = column.codes()
+            bad_by_code = np.zeros(n_groups, dtype=bool)
+            for value, code in _unique_with_codes(column, codes):
+                bad_by_code[code] = (
+                    isinstance(value, str)
+                    and value.strip().lower() in self.null_tokens
+                )
+        rows: list[int] = []
+        offset = 0
+        for chunk in column.iter_chunks():
+            flagged = np.asarray(chunk.mask()).copy()
+            if bad_by_code is not None:
+                flagged |= bad_by_code[codes[offset : offset + len(chunk)]]
+            for local in np.flatnonzero(flagged).tolist():
+                rows.append(offset + local)
+            offset += len(chunk)
+        return tuple(rows)
+
     def _detect(
         self, frame: DataFrame, context: DetectionContext
     ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
         cells: set[Cell] = set()
+        store = getattr(context, "artifact_store", None)
+        params = tuple(sorted(self.null_tokens))
         for name in frame.column_names:
             column = frame.column(name)
-            bad_by_code: np.ndarray | None = None
-            codes: np.ndarray | None = None
-            if column.dtype == "string" and len(column):
-                # Test each *distinct* value once against the null tokens
-                # and broadcast the verdict back through the value codes.
-                codes, n_groups = column.codes()
-                bad_by_code = np.zeros(n_groups, dtype=bool)
-                for value, code in _unique_with_codes(column, codes):
-                    bad_by_code[code] = (
-                        isinstance(value, str)
-                        and value.strip().lower() in self.null_tokens
-                    )
-            offset = 0
-            for chunk in column.iter_chunks():
-                flagged = np.asarray(chunk.mask()).copy()
-                if bad_by_code is not None:
-                    flagged |= bad_by_code[codes[offset : offset + len(chunk)]]
-                for local in np.flatnonzero(flagged).tolist():
-                    cells.add((offset + local, name))
-                offset += len(chunk)
+            if not store:  # falsy when disabled: cold path, no hashing
+                rows = self._column_rows(column)
+            else:
+                rows = store.cached(
+                    "detect:mv", (column.fingerprint(),), params,
+                    lambda column=column: self._column_rows(column),
+                )
+            cells.update((row, name) for row in rows)
         scores = {cell: 1.0 for cell in cells}
         return cells, scores, {}

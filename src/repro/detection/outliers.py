@@ -6,6 +6,11 @@ compression, so mean/std/quantiles are bit-identical), and the flagging
 pass then walks the column's shards with a running row offset — the
 z-score / fence comparisons are elementwise, so chunk boundaries cannot
 change which cells are flagged or their scores.
+
+Both publish per-column detection masks into the context's artifact
+store (when one is attached): the flagged ``(row, score)`` pairs are a
+pure function of column content, so a re-run after a repair recomputes
+only the repaired columns' masks.
 """
 
 from __future__ import annotations
@@ -33,6 +38,17 @@ def _gather_finite(column: Column) -> np.ndarray:
     return gather_compressed(compressed_chunks(column))
 
 
+def _column_mask_cached(store, kind: str, column: Column, params, compute):
+    """Per-column detection mask via the artifact store (duck-typed).
+
+    ``compute`` returns ``((row, score), ...)`` pairs for one column —
+    pure content functions, cached under the column's fingerprint.
+    """
+    if not store:  # None or disabled: true cold path, no hashing
+        return compute()
+    return store.cached(kind, (column.fingerprint(),), params, compute)
+
+
 class SDDetector(Detector):
     """Flag numeric cells more than ``k`` standard deviations from the mean."""
 
@@ -45,30 +61,42 @@ class SDDetector(Detector):
         self.k = k
         self.columns = columns
 
+    def _column_pairs(self, column: Column) -> tuple[tuple[int, float], ...]:
+        """Flagged ``(row, z-score)`` pairs for one column, in row order."""
+        finite = _gather_finite(column)
+        if len(finite) < 3:
+            return ()
+        mean = float(np.mean(finite))
+        std = float(np.std(finite))
+        if std == 0.0:
+            return ()
+        pairs: list[tuple[int, float]] = []
+        for offset, values, mask in _shard_arrays(column):
+            z = np.abs(values - mean) / std
+            flagged = (z > self.k) & ~mask
+            for local in np.flatnonzero(flagged).tolist():
+                pairs.append((offset + local, float(z[local])))
+        return tuple(pairs)
+
     def _detect(
         self, frame: DataFrame, context: DetectionContext
     ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
         cells: set[Cell] = set()
         scores: dict[Cell, float] = {}
         names = self.columns or frame.numeric_column_names()
+        store = getattr(context, "artifact_store", None)
         for name in names:
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            finite = _gather_finite(column)
-            if len(finite) < 3:
-                continue
-            mean = float(np.mean(finite))
-            std = float(np.std(finite))
-            if std == 0.0:
-                continue
-            for offset, values, mask in _shard_arrays(column):
-                z = np.abs(values - mean) / std
-                flagged = (z > self.k) & ~mask
-                for local in np.flatnonzero(flagged).tolist():
-                    cell = (offset + local, name)
-                    cells.add(cell)
-                    scores[cell] = float(z[local])
+            pairs = _column_mask_cached(
+                store, "detect:sd", column, (self.k,),
+                lambda column=column: self._column_pairs(column),
+            )
+            for row, score in pairs:
+                cell = (row, name)
+                cells.add(cell)
+                scores[cell] = score
         return cells, scores, {"columns_checked": list(names)}
 
 
@@ -84,30 +112,42 @@ class IQRDetector(Detector):
         self.factor = factor
         self.columns = columns
 
+    def _column_pairs(self, column: Column) -> tuple[tuple[int, float], ...]:
+        """Flagged ``(row, fence distance)`` pairs for one column."""
+        finite = _gather_finite(column)
+        if len(finite) < 4:
+            return ()
+        q1, q3 = np.quantile(finite, [0.25, 0.75])
+        iqr = float(q3 - q1)
+        if iqr == 0.0:
+            return ()
+        low = q1 - self.factor * iqr
+        high = q3 + self.factor * iqr
+        pairs: list[tuple[int, float]] = []
+        for offset, values, mask in _shard_arrays(column):
+            outside = ((values < low) | (values > high)) & ~mask
+            distances = np.maximum(low - values, values - high) / iqr
+            for local in np.flatnonzero(outside).tolist():
+                pairs.append((offset + local, float(distances[local])))
+        return tuple(pairs)
+
     def _detect(
         self, frame: DataFrame, context: DetectionContext
     ) -> tuple[set[Cell], dict[Cell, float], dict[str, Any]]:
         cells: set[Cell] = set()
         scores: dict[Cell, float] = {}
         names = self.columns or frame.numeric_column_names()
+        store = getattr(context, "artifact_store", None)
         for name in names:
             column = frame.column(name)
             if not column.is_numeric():
                 continue
-            finite = _gather_finite(column)
-            if len(finite) < 4:
-                continue
-            q1, q3 = np.quantile(finite, [0.25, 0.75])
-            iqr = float(q3 - q1)
-            if iqr == 0.0:
-                continue
-            low = q1 - self.factor * iqr
-            high = q3 + self.factor * iqr
-            for offset, values, mask in _shard_arrays(column):
-                outside = ((values < low) | (values > high)) & ~mask
-                distances = np.maximum(low - values, values - high) / iqr
-                for local in np.flatnonzero(outside).tolist():
-                    cell = (offset + local, name)
-                    cells.add(cell)
-                    scores[cell] = float(distances[local])
+            pairs = _column_mask_cached(
+                store, "detect:iqr", column, (self.factor,),
+                lambda column=column: self._column_pairs(column),
+            )
+            for row, score in pairs:
+                cell = (row, name)
+                cells.add(cell)
+                scores[cell] = score
         return cells, scores, {"columns_checked": list(names)}

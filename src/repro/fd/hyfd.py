@@ -36,8 +36,14 @@ def hyfd(
     sample_pairs: int = 512,
     seed: int = 0,
     columns: list[str] | None = None,
+    store=None,
 ) -> HyFDResult:
-    """Run the hybrid discovery; ``max_lhs_size`` caps LHS length."""
+    """Run the hybrid discovery; ``max_lhs_size`` caps LHS length.
+
+    ``store`` caches the validation-phase partitions by column content
+    (see :meth:`StrippedPartition.from_columns`), so repeated discovery
+    in a session revalidates unchanged attribute sets from cache.
+    """
     attributes = list(columns) if columns is not None else frame.column_names
     result = HyFDResult()
     if not attributes or frame.num_rows == 0:
@@ -68,7 +74,9 @@ def hyfd(
         for dependent in attributes:
             dep_codes = code_matrix[:, attribute_index[dependent]]
             for lhs in sorted(candidates[dependent], key=lambda s: (len(s), sorted(s))):
-                violation = _find_violation(frame, lhs, dep_codes, partitions)
+                violation = _find_violation(
+                    frame, lhs, dep_codes, partitions, store=store
+                )
                 result.validations += 1
                 if violation is None:
                     continue
@@ -88,10 +96,15 @@ def hyfd(
 
 
 def discover_fds_hyfd(
-    frame: DataFrame, max_lhs_size: int | None = None, seed: int = 0
+    frame: DataFrame,
+    max_lhs_size: int | None = None,
+    seed: int = 0,
+    store=None,
 ) -> list[FunctionalDependency]:
     """Convenience wrapper returning HyFD's minimal FDs."""
-    return hyfd(frame, max_lhs_size=max_lhs_size, seed=seed).dependencies
+    return hyfd(
+        frame, max_lhs_size=max_lhs_size, seed=seed, store=store
+    ).dependencies
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +226,7 @@ def _find_violation(
     lhs: AttrSet,
     dep_codes: np.ndarray,
     partitions: dict[AttrSet, StrippedPartition],
+    store=None,
 ) -> tuple[int, int] | None:
     """Return one violating row pair for ``lhs -> dependent``, else None.
 
@@ -221,5 +235,7 @@ def _find_violation(
     """
     key = frozenset(lhs)
     if key not in partitions:
-        partitions[key] = StrippedPartition.from_columns(frame, sorted(lhs))
+        partitions[key] = StrippedPartition.from_columns(
+            frame, sorted(lhs), store=store
+        )
     return partitions[key].violation_pair(dep_codes)

@@ -77,10 +77,30 @@ def stripped_error(codes: np.ndarray) -> int:
     return n - n_groups
 
 
-def error_from_columns(frame: DataFrame, columns: Iterable[str]) -> int:
-    """e(pi_X) straight from cached column codes, skipping class building."""
-    codes, _ = frame.column_codes(list(columns), dense=False)
-    return stripped_error(codes)
+def error_from_columns(
+    frame: DataFrame, columns: Iterable[str], store=None
+) -> int:
+    """e(pi_X) straight from cached column codes, skipping class building.
+
+    With a ``store``, the error integer is cached under the fingerprints
+    of the named columns — repeated FD discovery over an unchanged (or
+    partially repaired) frame skips the sort entirely.
+    """
+    names = list(columns)
+    if not store:  # falsy when disabled: cold path, no hashing
+        codes, _ = frame.column_codes(names, dense=False)
+        return stripped_error(codes)
+    # The error integer is independent of attribute order (grouping by a
+    # composite key), so the key sorts the fingerprints — {A,B} and {B,A}
+    # share one entry even when callers iterate sets. num_rows rides in
+    # params for the empty attribute set, which has no fingerprints to
+    # encode the frame size (same guard as from_columns).
+    return store.cached(
+        "fd:error",
+        tuple(sorted(frame.column(name).fingerprint() for name in names)),
+        (frame.num_rows,),
+        lambda: stripped_error(frame.column_codes(names, dense=False)[0]),
+    )
 
 
 class StrippedPartition:
@@ -125,15 +145,44 @@ class StrippedPartition:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_column(cls, frame: DataFrame, column: str) -> "StrippedPartition":
+    def from_column(
+        cls, frame: DataFrame, column: str, store=None
+    ) -> "StrippedPartition":
+        """Partition over one attribute, optionally artifact-cached.
+
+        Partitions are pure functions of column content, so with a
+        ``store`` they are keyed by the column's fingerprint and shared
+        across discovery runs (partition objects are read-mostly: their
+        lazy ``classes``/``_ids`` materialization is idempotent, and
+        refinement builds new partitions rather than mutating).
+        """
+        if store:
+            # Same key layout as from_columns, so single-attribute
+            # partitions are shared between both entry points.
+            return store.cached(
+                "fd:partition",
+                (frame.column(column).fingerprint(),),
+                (frame.num_rows,),
+                lambda: cls.from_column(frame, column),
+            )
         codes, _ = frame.column(column).codes()
         return cls._from_codes(codes, frame.num_rows)
 
     @classmethod
     def from_columns(
-        cls, frame: DataFrame, columns: Iterable[str]
+        cls, frame: DataFrame, columns: Iterable[str], store=None
     ) -> "StrippedPartition":
         names = list(columns)
+        if store:
+            # num_rows rides in params: the empty attribute set has no
+            # column fingerprints to encode the row count (pi_∅ covers
+            # every row), and it keeps distinct-shape frames distinct.
+            return store.cached(
+                "fd:partition",
+                tuple(frame.column(name).fingerprint() for name in names),
+                (frame.num_rows,),
+                lambda: cls.from_columns(frame, names),
+            )
         if not names:
             # pi_∅ is one class containing every row.
             return cls([list(range(frame.num_rows))], frame.num_rows)

@@ -40,17 +40,28 @@ def discover_fds(
     frame: DataFrame,
     max_lhs_size: int | None = None,
     columns: list[str] | None = None,
+    store=None,
 ) -> list[FunctionalDependency]:
     """Convenience wrapper returning the minimal FDs of a frame."""
-    return tane(frame, max_lhs_size=max_lhs_size, columns=columns).dependencies
+    return tane(
+        frame, max_lhs_size=max_lhs_size, columns=columns, store=store
+    ).dependencies
 
 
 def tane(
     frame: DataFrame,
     max_lhs_size: int | None = None,
     columns: list[str] | None = None,
+    store=None,
 ) -> TaneResult:
-    """Run TANE over ``frame``; optionally cap the LHS size for speed."""
+    """Run TANE over ``frame``; optionally cap the LHS size for speed.
+
+    ``store`` (an :class:`~repro.core.artifacts.ArtifactStore`) caches
+    the base partitions and lattice error integers by column content, so
+    repeated discovery inside a session — including after repairs that
+    leave most columns untouched — skips the grouping sorts for every
+    unchanged attribute set.
+    """
     attributes = list(columns) if columns is not None else frame.column_names
     result = TaneResult()
     if not attributes or frame.num_rows == 0:
@@ -59,11 +70,11 @@ def tane(
     limit = len(attributes) if max_lhs_size is None else max_lhs_size + 1
 
     partitions: dict[AttrSet, StrippedPartition] = {
-        frozenset(): StrippedPartition.from_columns(frame, [])
+        frozenset(): StrippedPartition.from_columns(frame, [], store=store)
     }
     errors: dict[AttrSet, int] = {frozenset(): partitions[frozenset()].error}
     for attribute in attributes:
-        partition = StrippedPartition.from_column(frame, attribute)
+        partition = StrippedPartition.from_column(frame, attribute, store=store)
         partitions[frozenset([attribute])] = partition
         errors[frozenset([attribute])] = partition.error
         result.partitions_computed += 1
@@ -87,7 +98,9 @@ def tane(
             mode = "error_only"
         else:
             mode = "full"
-        level = _generate_next_level(frame, level, partitions, errors, result, mode)
+        level = _generate_next_level(
+            frame, level, partitions, errors, result, mode, store=store
+        )
     return result
 
 
@@ -162,6 +175,7 @@ def _generate_next_level(
     errors: dict[AttrSet, int],
     result: TaneResult,
     mode: str = "full",
+    store=None,
 ) -> list[AttrSet]:
     """Apriori-style candidate generation with partition products.
 
@@ -209,7 +223,9 @@ def _generate_next_level(
                 elif small:
                     errors[union] = left_part.product_error(right_part)
                 else:
-                    errors[union] = error_from_columns(frame, union)
+                    errors[union] = error_from_columns(
+                        frame, union, store=store
+                    )
                 result.partitions_computed += 1
     return next_level
 

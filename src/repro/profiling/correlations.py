@@ -7,6 +7,15 @@ per-pair correlation tasks then run concurrently. Each pair is computed
 independently with the same kernel on the same arrays, and results are
 written back in deterministic pair order, so parallel output is
 bit-identical to serial output.
+
+With a ``store`` (:class:`~repro.core.artifacts.ArtifactStore`), pair
+values are cached by the two columns' content fingerprints and Spearman
+full-column ranks are cached per column — after a repair dirties one
+column, only the pairs (and the one rank vector) touching it recompute;
+per-column preparation (numpy export, validity masks) runs only for the
+columns that still appear in an uncached pair. Cached values replay the
+same kernels' output for identical content, so the matrix stays
+bit-identical to a cold run.
 """
 
 from __future__ import annotations
@@ -139,41 +148,114 @@ def _pearson_core(xs: np.ndarray, ys: np.ndarray) -> float:
     return float(np.mean((xs - xs.mean()) * (ys - ys.mean())) / (std_x * std_y))
 
 
+def _float_samples(column) -> np.ndarray:
+    """Column as a float array with nan at missing slots, copy-free when safe.
+
+    A complete float64 column is returned as its read-only backing view
+    (the pair kernels only read); anything else takes the same
+    ``to_numpy`` copy-and-nan path as before. Values are identical
+    either way, so pair results are unchanged.
+    """
+    data = column.values_array()
+    if data.dtype == np.float64 and not np.asarray(column.mask()).any():
+        return np.asarray(data)
+    return column.to_numpy()
+
+
+def _all_pairs(names: list[str]) -> list[tuple[str, str]]:
+    return [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+
+
+def _split_cached_pairs(
+    store, kind: str, pairs: list, fingerprints: dict[str, str]
+) -> tuple[dict, list]:
+    """Partition ``pairs`` into cached values and a to-compute list."""
+    resolved: dict = {}
+    todo: list = []
+    for a, b in pairs:
+        hit, value = store.get(kind, (fingerprints[a], fingerprints[b]), ())
+        if hit:
+            resolved[(a, b)] = value
+        else:
+            todo.append((a, b))
+    return resolved, todo
+
+
+def _assemble_matrix(
+    names: list[str], values_by_pair: dict
+) -> tuple[list[str], np.ndarray]:
+    matrix = np.eye(len(names))
+    index = {name: position for position, name in enumerate(names)}
+    for (a, b), value in values_by_pair.items():
+        if value != 0.0:
+            matrix[index[a], index[b]] = value
+            matrix[index[b], index[a]] = value
+    return names, matrix
+
+
 def correlation_matrix(
-    frame: DataFrame, method: str = "pearson", executor=None
+    frame: DataFrame, method: str = "pearson", executor=None, store=None
 ) -> tuple[list[str], np.ndarray]:
     """Numeric correlation matrix by Pearson or Spearman.
 
     Validity masks are computed once per column, and Spearman ranks are
-    cached per column and reused for every pair without missing values —
-    only pairwise-incomplete pairs pay for a re-rank. With ``executor``,
-    column preparation and pair correlations run concurrently.
+    reused for every pair without missing values — only pairwise-
+    incomplete pairs pay for a re-rank. With ``executor``, column
+    preparation and pair correlations run concurrently. With ``store``,
+    pair values are served by content fingerprint and full-column ranks
+    persist across calls; preparation is lazy, touching only columns
+    that appear in an uncached pair.
     """
     if method not in ("pearson", "spearman"):
         raise ValueError("method must be 'pearson' or 'spearman'")
     names = frame.numeric_column_names()
+    pairs = _all_pairs(names)
+    values_by_pair: dict = {}
+    todo = pairs
+    fingerprints: dict[str, str] = {}
+    if store:  # falsy when disabled: cold path, no fingerprint hashing
+        fingerprints = {
+            name: frame.column(name).fingerprint() for name in names
+        }
+        values_by_pair, todo = _split_cached_pairs(
+            store, f"corr:{method}", pairs, fingerprints
+        )
+    needed = list(dict.fromkeys(name for pair in todo for name in pair))
     arrays = dict(
         zip(
-            names,
+            needed,
             _ordered_map(
-                executor, lambda name: frame.column(name).to_numpy(), names
+                executor,
+                lambda name: _float_samples(frame.column(name)),
+                needed,
             ),
         )
     )
-    valid = {name: ~np.isnan(arrays[name]) for name in names}
+    valid = {name: ~np.isnan(arrays[name]) for name in needed}
     full_ranks: dict[str, np.ndarray] = {}
     if method == "spearman":
-        complete_names = [name for name in names if bool(valid[name].all())]
-        full_ranks = dict(
-            zip(
-                complete_names,
-                _ordered_map(
-                    executor,
-                    lambda name: _rank(arrays[name]),
-                    complete_names,
-                ),
-            )
+        complete_names = [name for name in needed if bool(valid[name].all())]
+        if store:
+            ranked = []
+            for name in complete_names:
+                hit, value = store.get("corr:rank", (fingerprints[name],), ())
+                if hit:
+                    full_ranks[name] = value
+                else:
+                    ranked.append(name)
+        else:
+            ranked = complete_names
+        computed_ranks = _ordered_map(
+            executor, lambda name: _rank(arrays[name]), ranked
         )
+        for name, ranks in zip(ranked, computed_ranks):
+            full_ranks[name] = ranks
+            if store:
+                store.put("corr:rank", (fingerprints[name],), (), ranks)
 
     def _pair_value(pair: tuple[str, str]) -> float:
         a, b = pair
@@ -186,33 +268,42 @@ def correlation_matrix(
             return _pearson_core(full_ranks[a], full_ranks[b])
         return _pearson_core(_rank(arrays[a][mask]), _rank(arrays[b][mask]))
 
-    pairs = [
-        (names[i], names[j])
-        for i in range(len(names))
-        for j in range(i + 1, len(names))
-    ]
-    values = _ordered_map(executor, _pair_value, pairs)
-    matrix = np.eye(len(names))
-    index = {name: position for position, name in enumerate(names)}
-    for (a, b), value in zip(pairs, values):
-        if value != 0.0:
-            matrix[index[a], index[b]] = value
-            matrix[index[b], index[a]] = value
-    return names, matrix
+    values = _ordered_map(executor, _pair_value, todo)
+    for (a, b), value in zip(todo, values):
+        values_by_pair[(a, b)] = value
+        if store:
+            store.put(
+                f"corr:{method}", (fingerprints[a], fingerprints[b]), (), value
+            )
+    return _assemble_matrix(names, values_by_pair)
 
 
 def categorical_association_matrix(
-    frame: DataFrame, executor=None
+    frame: DataFrame, executor=None, store=None
 ) -> tuple[list[str], np.ndarray]:
     """Cramér's V matrix across categorical columns.
 
     Runs on the columns' cached integer codes and null masks; each pair
     costs one boolean filter, two code compressions, and one bincount.
-    With ``executor``, pairs are computed concurrently.
+    With ``executor``, pairs are computed concurrently; with ``store``,
+    pair values are served by content fingerprint and codes/masks are
+    pulled only for columns appearing in an uncached pair.
     """
     names = frame.categorical_column_names()
-    codes = {name: frame.column(name).codes() for name in names}
-    masks = {name: np.asarray(frame.column(name).mask()) for name in names}
+    pairs = _all_pairs(names)
+    values_by_pair: dict = {}
+    todo = pairs
+    fingerprints: dict[str, str] = {}
+    if store:  # falsy when disabled: cold path, no fingerprint hashing
+        fingerprints = {
+            name: frame.column(name).fingerprint() for name in names
+        }
+        values_by_pair, todo = _split_cached_pairs(
+            store, "corr:cramers_v", pairs, fingerprints
+        )
+    needed = list(dict.fromkeys(name for pair in todo for name in pair))
+    codes = {name: frame.column(name).codes() for name in needed}
+    masks = {name: np.asarray(frame.column(name).mask()) for name in needed}
 
     def _pair_value(pair: tuple[str, str]) -> float:
         a, b = pair
@@ -223,19 +314,14 @@ def categorical_association_matrix(
         right_codes, n_right = _compress_codes(codes[b][0][keep], codes[b][1])
         return _cramers_from_codes(left_codes, n_left, right_codes, n_right)
 
-    pairs = [
-        (names[i], names[j])
-        for i in range(len(names))
-        for j in range(i + 1, len(names))
-    ]
-    values = _ordered_map(executor, _pair_value, pairs)
-    matrix = np.eye(len(names))
-    index = {name: position for position, name in enumerate(names)}
-    for (a, b), value in zip(pairs, values):
-        if value != 0.0:
-            matrix[index[a], index[b]] = value
-            matrix[index[b], index[a]] = value
-    return names, matrix
+    values = _ordered_map(executor, _pair_value, todo)
+    for (a, b), value in zip(todo, values):
+        values_by_pair[(a, b)] = value
+        if store:
+            store.put(
+                "corr:cramers_v", (fingerprints[a], fingerprints[b]), (), value
+            )
+    return _assemble_matrix(names, values_by_pair)
 
 
 def pairs_from_matrix(

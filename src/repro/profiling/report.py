@@ -7,6 +7,15 @@ frames), per-column summaries/histograms and correlation pairs are
 submitted to a ``ThreadPoolExecutor`` when ``n_jobs`` asks for more than
 one worker, and every result is assembled in deterministic column/pair
 order — parallel output is bit-identical to serial output.
+
+With a ``store`` (an :class:`~repro.core.artifacts.ArtifactStore`),
+profiling becomes *incremental*: per-column sections, correlation pairs,
+the missing tables, and the duplicate-row artifact are looked up by
+column content fingerprints before computing and published afterwards,
+so re-profiling after a repair recomputes only the artifacts that touch
+a patched column. The cached path returns bit-identical reports — the
+store only ever replays what the same kernels produced for identical
+column content.
 """
 
 from __future__ import annotations
@@ -95,6 +104,23 @@ def _column_html(column: dict[str, Any]) -> str:
     )
 
 
+def duplicate_row_artifact(frame: DataFrame, store) -> tuple[int, ...]:
+    """Duplicate-row indices via the shared ``frame:duplicates`` entry.
+
+    The single definition of this artifact's key and payload shape —
+    profiling and quality scoring (:mod:`repro.core.quality`) both call
+    it, so one session store serves one entry to both subsystems. Stored
+    as an immutable tuple with ``copy=False``: cache hits cost nothing,
+    and consumers needing a list take a shallow copy.
+    """
+    return store.cached(
+        "frame:duplicates",
+        frame.column_fingerprints(),
+        (),
+        lambda: tuple(frame.duplicate_row_indices()),
+    )
+
+
 def _resolve_jobs(n_jobs: int | None) -> int:
     """Worker count: None/0/1 → serial, -1 → all cores, n → n."""
     if n_jobs is None or n_jobs == 0:
@@ -105,7 +131,10 @@ def _resolve_jobs(n_jobs: int | None) -> int:
 
 
 def profile(
-    frame: DataFrame, histogram_bins: int = 20, n_jobs: int | None = None
+    frame: DataFrame,
+    histogram_bins: int = 20,
+    n_jobs: int | None = None,
+    store=None,
 ) -> ProfileReport:
     """Profile a frame: the automated data profiling module of Figure 1.
 
@@ -113,19 +142,31 @@ def profile(
     correlation pairs run on a thread pool; numpy releases the GIL in
     the reduction/sort kernels that dominate, so wide or chunked frames
     profile in parallel. Results are identical to the serial path.
+
+    ``store`` enables incremental profiling through a content-addressed
+    :class:`~repro.core.artifacts.ArtifactStore`: unchanged columns (and
+    pairs of unchanged columns) are served from cache bit-identically.
     """
     env_chunk = default_chunk_size()
     if env_chunk is not None and frame.n_chunks == 1 and frame.num_rows:
+        # A disabled store is falsy (ArtifactStore.__bool__): every store
+        # check below is a truthiness check, so the kill-switch path is
+        # the true cold path — no fingerprint hashing at all.
+        if store:
+            # Warm the fingerprint caches on the caller's columns first:
+            # to_chunked carries them over, so repeated profile() calls on
+            # a session frame hash each column once, not once per call.
+            frame.column_fingerprints()
         frame = frame.to_chunked(env_chunk)
     workers = _resolve_jobs(n_jobs)
     if workers > 1:
         with ThreadPoolExecutor(max_workers=workers) as executor:
-            return _build_report(frame, histogram_bins, executor)
-    return _build_report(frame, histogram_bins, None)
+            return _build_report(frame, histogram_bins, executor, store)
+    return _build_report(frame, histogram_bins, None, store)
 
 
 def _build_report(
-    frame: DataFrame, histogram_bins: int, executor
+    frame: DataFrame, histogram_bins: int, executor, store=None
 ) -> ProfileReport:
     def _column_section(name: str) -> dict[str, Any]:
         summary = column_summary(frame.column(name))
@@ -133,22 +174,68 @@ def _build_report(
         return summary
 
     names = frame.column_names
+    sections: dict[str, dict[str, Any]] = {}
+    todo = list(names)
+    if store:
+        todo = []
+        for name in names:
+            hit, value = store.get(
+                "profile:column",
+                (frame.column(name).fingerprint(),),
+                (histogram_bins,),
+            )
+            if hit:
+                sections[name] = value
+            else:
+                todo.append(name)
     if executor is not None:
-        columns = list(executor.map(_column_section, names))
+        computed = list(executor.map(_column_section, todo))
     else:
-        columns = [_column_section(name) for name in names]
+        computed = [_column_section(name) for name in todo]
+    for name, summary in zip(todo, computed):
+        if store:
+            store.put(
+                "profile:column",
+                (frame.column(name).fingerprint(),),
+                (histogram_bins,),
+                summary,
+                copy=True,
+            )
+        sections[name] = summary
+    columns = [sections[name] for name in names]
     summaries_by_name = dict(zip(names, columns))
 
     pearson_names, pearson_matrix = correlation_matrix(
-        frame, "pearson", executor=executor
+        frame, "pearson", executor=executor, store=store
     )
     spearman_names, spearman_matrix = correlation_matrix(
-        frame, "spearman", executor=executor
+        frame, "spearman", executor=executor, store=store
     )
     cramers_names, cramers_matrix = categorical_association_matrix(
-        frame, executor=executor
+        frame, executor=executor, store=store
     )
-    duplicates = frame.duplicate_row_indices()
+    if store:
+        # Alerts expect the historical list, so take a shallow copy of
+        # the immutable shared artifact.
+        duplicates = list(duplicate_row_artifact(frame, store))
+        # Missing tables depend only on null masks, so they key on the
+        # mask fingerprints: value-only repairs keep them cached.
+        missing_section = store.cached(
+            "frame:missing",
+            frame.mask_fingerprints(),
+            (),
+            lambda: {
+                "summary": missing_summary(frame),
+                "patterns": missing_patterns(frame),
+            },
+            copy=True,
+        )
+    else:
+        duplicates = frame.duplicate_row_indices()
+        missing_section = {
+            "summary": missing_summary(frame),
+            "patterns": missing_patterns(frame),
+        }
     correlation_pairs = pairs_from_matrix(
         pearson_names, pearson_matrix, CORRELATION_ALERT_THRESHOLD
     )
@@ -183,10 +270,7 @@ def _build_report(
                 "matrix": [[float(v) for v in row] for row in cramers_matrix],
             },
         },
-        missing={
-            "summary": missing_summary(frame),
-            "patterns": missing_patterns(frame),
-        },
+        missing=missing_section,
         alerts=generate_alerts(
             frame,
             column_summaries=summaries_by_name,

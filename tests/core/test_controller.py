@@ -57,6 +57,30 @@ class TestVersioning:
         original = session.load_version(0)
         assert original == nasa_dirty.dirty
 
+    def test_load_version_resets_stale_derived_state(self, lens, nasa_dirty):
+        """Time travel must not leak the previous frame's analysis results."""
+        session = lens.ingest_frame("nasa", nasa_dirty.dirty)
+        session.profile()
+        session.run_detection(["mv_detector"])
+        session.run_repair("standard_imputer")
+        assert session.profile_report is not None
+        assert session.detection_results and session.detected_cells
+        assert session.repair_result is not None
+        session.load_version(session.version_after_repair)
+        assert session.profile_report is None
+        assert session.detection_results == {}
+        assert session.detected_cells == set()
+        assert session.repair_result is None
+
+    def test_session_profile_uses_artifact_cache(self, lens, nasa_dirty):
+        session = lens.ingest_frame("nasa", nasa_dirty.dirty)
+        first = session.profile().to_json()
+        second = session.profile().to_json()
+        assert first == second
+        stats = session.cache_stats()
+        if stats["enabled"]:
+            assert stats["hits"] > 0
+
 
 class TestRules:
     def test_discover_validate_custom(self, lens, hospital_dirty):

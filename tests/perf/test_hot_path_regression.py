@@ -10,12 +10,39 @@ to damp scheduler noise.
 
 from __future__ import annotations
 
+import importlib.util
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+
+def _load_incremental_workload():
+    """Load the workload shared with benchmarks/bench_incremental_session.py.
+
+    Budget and recorded trajectory must always measure the same frame
+    shape and repair pattern; benchmarks/ is not a package, so the module
+    is loaded by file path — no sys.path mutation leaks into the suite.
+    """
+    path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "incremental_workload.py"
+    )
+    spec = importlib.util.spec_from_file_location("_incremental_workload", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_workload = _load_incremental_workload()
+make_incremental_frame = _workload.make_incremental_frame
+one_percent_repair = _workload.one_percent_repair
+INCREMENTAL_COLS = _workload.N_COLUMNS
+
+from repro.core.artifacts import ArtifactStore
 from repro.dataframe import DataFrame, group_by, inner_join, sort_by
 from repro.detection.base import DetectionContext
 from repro.detection.outliers import SDDetector
@@ -27,6 +54,7 @@ from repro.repair.base import RepairResult
 N_ROWS = 50_000
 PROFILE_ROWS = 200_000
 PROFILE_CHUNK = 16_384
+INCREMENTAL_ROWS = 200_000
 
 
 @pytest.fixture(scope="module")
@@ -194,6 +222,65 @@ def test_parallel_profile_speedup_on_multicore(profiling_frame):
     assert speedup >= required, (
         f"parallel profile speedup {speedup:.2f}x < {required}x "
         f"({serial_time:.3f}s -> {parallel_time:.3f}s on {cores} cores)"
+    )
+
+
+@pytest.fixture(scope="module")
+def incremental_frame() -> DataFrame:
+    """The shared 200k x 20 frame for the incremental re-profile budget."""
+    frame = make_incremental_frame(INCREMENTAL_ROWS)
+    assert frame.num_columns == INCREMENTAL_COLS
+    return frame
+
+
+def test_incremental_reprofile_after_repair_beats_cold_5x(incremental_frame):
+    """Acceptance budget: re-profile after a 1%-of-cells repair >= 5x cold.
+
+    The artifact store serves every per-column/pairwise artifact that
+    does not touch the two repaired columns; hit/miss counters prove the
+    recompute set is exactly the dirty columns. The store is force-
+    enabled so the budget also guards the cache-disabled CI leg.
+    """
+    store = ArtifactStore(enabled=True)
+    cold = _best_of(lambda: profile(incremental_frame), repeats=2)
+    warm_report = profile(incremental_frame, store=store)  # populate
+    assert warm_report.to_json() == profile(incremental_frame).to_json()
+
+    warm_times = []
+    for round_index in range(2):
+        repaired = one_percent_repair(
+            incremental_frame, seed=round_index
+        ).apply_to(incremental_frame)
+        before = {
+            kind: dict(counts)
+            for kind, counts in store.stats()["by_kind"].items()
+        }
+        start = time.perf_counter()
+        profile(repaired, store=store)
+        warm_times.append(time.perf_counter() - start)
+        after = store.stats()["by_kind"]
+        column_misses = (
+            after["profile:column"]["misses"]
+            - before["profile:column"]["misses"]
+        )
+        column_hits = (
+            after["profile:column"]["hits"] - before["profile:column"]["hits"]
+        )
+        # exactly the two repaired columns recompute; 18 columns hit
+        assert column_misses == 2, f"expected 2 dirty columns, got {column_misses}"
+        assert column_hits == INCREMENTAL_COLS - 2
+        # pairwise artifacts recompute only pairs touching a dirty column:
+        # num0/code0 each pair with the 17 other numeric columns.
+        pair_misses = (
+            after["corr:pearson"]["misses"] - before["corr:pearson"]["misses"]
+        )
+        assert pair_misses == 33, f"expected 33 dirty pearson pairs, got {pair_misses}"
+
+    warm = min(warm_times)
+    assert warm * 5.0 <= cold, (
+        f"incremental re-profile {warm:.3f}s must beat cold {cold:.3f}s "
+        f"by >= 5x on {INCREMENTAL_ROWS}x{INCREMENTAL_COLS} "
+        f"(got {cold / warm:.1f}x)"
     )
 
 
