@@ -1,0 +1,135 @@
+"""Ablation — vectorized repair proposals vs. the per-cell reference.
+
+Times HoloClean posterior repair and ML imputation at growing row counts
+on the shared 10-column workload (1% of cells dirty), and at 50k rows
+compares against the retained pure-Python reference implementations
+(``repair_reference.py``): the Counter-based co-occurrence fit with
+per-candidate ``log_score`` scoring, and the row-at-a-time KNN /
+decision-tree prediction loops. Outputs must be bit-identical; the
+HoloClean path must win by >= 15x (the PR acceptance budget). Also
+records the warm-cache repair time — a second repair over identical
+content replays the fingerprint-keyed ``repair:tokens`` /
+``repair:cooccurrence`` artifacts instead of refitting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.artifacts import ArtifactStore
+from repro.repair import HoloCleanRepairer, MLImputer
+
+from conftest import print_table
+from repair_reference import (
+    make_repair_frame,
+    reference_holoclean_repair,
+    reference_ml_impute,
+    sample_dirty_cells,
+)
+
+ROW_COUNTS = (5_000, 20_000, 50_000)
+REFERENCE_ROWS = 50_000
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_repair_scale(benchmark):
+    def run() -> dict:
+        rows = []
+        comparison: dict = {}
+        for n_rows in ROW_COUNTS:
+            frame = make_repair_frame(n_rows)
+            cells = sample_dirty_cells(frame, seed=5)
+            # ML imputation over a KNN-dominated subset (two string
+            # columns) plus one tree column, so both model paths appear.
+            ml_cells = {
+                (row, column)
+                for row, column in cells
+                if column in ("city", "brand", "num1")
+            }
+            holo_time, holo = _timed(
+                lambda: HoloCleanRepairer().repair(frame, cells)
+            )
+            store = ArtifactStore(enabled=True)
+            HoloCleanRepairer().repair(frame, cells, store=store)  # populate
+            warm_time, warm = _timed(
+                lambda: HoloCleanRepairer().repair(frame, cells, store=store)
+            )
+            assert warm.repairs == holo.repairs
+            ml_time, ml = _timed(lambda: MLImputer().repair(frame, ml_cells))
+            rows.append(
+                {
+                    "rows": n_rows,
+                    "cells": len(cells),
+                    "holo_s": round(holo_time, 3),
+                    "holo_warm_s": round(warm_time, 3),
+                    "ml_cells": len(ml_cells),
+                    "ml_s": round(ml_time, 3),
+                }
+            )
+            if n_rows == REFERENCE_ROWS:
+                ref_holo_time, (ref_repairs, ref_patches) = _timed(
+                    lambda: reference_holoclean_repair(frame, cells)
+                )
+                assert holo.repairs == ref_repairs, "repairs must be bit-identical"
+                assert holo.patches == ref_patches, "patches must be bit-identical"
+                ref_ml_time, (ml_repairs, ml_patches, ml_models) = _timed(
+                    lambda: reference_ml_impute(frame, ml_cells)
+                )
+                assert ml.repairs == ml_repairs
+                assert ml.patches == ml_patches
+                assert ml.metadata["models"] == ml_models
+                comparison = {
+                    "rows": n_rows,
+                    "holo_s": holo_time,
+                    "holo_ref_s": ref_holo_time,
+                    "holo_speedup": ref_holo_time / holo_time,
+                    "ml_s": ml_time,
+                    "ml_ref_s": ref_ml_time,
+                    "ml_speedup": ref_ml_time / ml_time,
+                }
+        return {"rows": rows, "comparison": comparison}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Vectorized repair proposals (1% of cells dirty, 10 columns)",
+        ["rows", "dirty cells", "holoclean (s)", "holoclean warm (s)",
+         "ml cells", "ml impute (s)"],
+        [
+            [r["rows"], r["cells"], r["holo_s"], r["holo_warm_s"],
+             r["ml_cells"], r["ml_s"]]
+            for r in result["rows"]
+        ],
+    )
+    comparison = result["comparison"]
+    print_table(
+        f"Vectorized vs per-cell reference at {REFERENCE_ROWS} rows "
+        "(bit-identical outputs)",
+        ["engine", "vectorized (s)", "reference (s)", "speedup"],
+        [
+            [
+                "holoclean_repair",
+                round(comparison["holo_s"], 3),
+                round(comparison["holo_ref_s"], 3),
+                f"{comparison['holo_speedup']:.1f}x",
+            ],
+            [
+                "ml_imputer",
+                round(comparison["ml_s"], 3),
+                round(comparison["ml_ref_s"], 3),
+                f"{comparison['ml_speedup']:.1f}x",
+            ],
+        ],
+    )
+    assert comparison["holo_speedup"] >= 15.0, (
+        f"holoclean repair speedup {comparison['holo_speedup']:.1f}x < 15x "
+        f"at {REFERENCE_ROWS} rows"
+    )
+    assert comparison["ml_speedup"] >= 1.3, (
+        f"ml imputation speedup {comparison['ml_speedup']:.1f}x < 1.3x "
+        f"at {REFERENCE_ROWS} rows"
+    )

@@ -41,6 +41,16 @@ Artifact / fingerprint contract
   consumers get deep copies of mutable artifacts (``copy=True`` puts) so
   downstream mutation cannot corrupt the cache.
 
+Artifact kinds are namespaced by producer: ``profile:*`` (per-column
+sections, histograms, duplicates, missing tables), ``corr:*`` (pairwise
+correlation/association), ``detect:*`` (per-column detection masks),
+``quality:*`` / ``fd:*`` (validity, violation sets, partitions), and —
+since the vectorized repair-proposal engine — ``repair:tokens``
+(per-column integer token codes keyed by one column fingerprint) and
+``repair:cooccurrence`` (the fitted co-occurrence model keyed by every
+column fingerprint), which let a detect → repair cycle over
+content-identical frames tokenize and fit once.
+
 Disabling
 ---------
 Setting ``DATALENS_ARTIFACT_CACHE=0`` (or ``false`` / ``off`` / ``no``)

@@ -282,11 +282,20 @@ class DataLensSession:
     # Repair (§3)
     # ------------------------------------------------------------------
     def run_repair(self, tool: str = "ml_imputer", **params: Any) -> DataFrame:
-        """Repair the consolidated detections; store and version the output."""
+        """Repair the consolidated detections; store and version the output.
+
+        The session artifact store rides along: HoloClean repair reuses
+        the ``repair:tokens`` / ``repair:cooccurrence`` artifacts the
+        detector published for the same column content, so a detect →
+        repair cycle whose detected cells are already null fits the
+        co-occurrence model exactly once.
+        """
         if not self.detected_cells:
             raise RuntimeError("run detection before repair")
         repairer = make_repairer(tool, **params)
-        result = repairer.repair(self.frame, self.detected_cells)
+        result = repairer.repair(
+            self.frame, self.detected_cells, store=self.artifacts
+        )
         repaired = result.apply_to(self.frame)
         self.repair_result = result
         self.repaired_frame = repaired

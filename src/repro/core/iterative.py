@@ -324,7 +324,11 @@ class IterativeCleaner:
             detector = make_detector(detector_name, **detector_params)
             repairer = make_repairer(repairer_name, **repairer_params)
             detection = detector.detect(dirty, context)
-            repaired = repairer.repair(dirty, detection.cells).apply_to(dirty)
+            # Share the session artifact store across trials: unchanged
+            # columns re-tokenize from cache even as repair configs vary.
+            repaired = repairer.repair(
+                dirty, detection.cells, store=context.artifact_store
+            ).apply_to(dirty)
             score = scorer.score(repaired)
             repaired_cache[trial.number] = repaired
             outcomes.append(

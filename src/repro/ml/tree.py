@@ -74,13 +74,39 @@ class _BaseDecisionTree:
         return self
 
     def predict(self, features: np.ndarray) -> list[Any]:
-        """Predict one value per row (1-D input treated as a single row)."""
+        """Predict one value per row (1-D input treated as a single row).
+
+        Batched: rows are routed through the tree as index frontiers —
+        one vectorized threshold comparison per node over the rows that
+        reach it — instead of one Python descent per row. Comparison
+        semantics (``<=`` goes left, NaN goes right) and outputs are
+        identical to :meth:`_predict_row`.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
         matrix = np.asarray(features, dtype=float)
         if matrix.ndim == 1:
             matrix = matrix.reshape(1, -1)
-        return [self._predict_row(row) for row in matrix]
+        out = np.empty(matrix.shape[0], dtype=object)
+        frontier: list[tuple[_Node | None, np.ndarray]] = [
+            (self._root, np.arange(matrix.shape[0], dtype=np.intp))
+        ]
+        while frontier:
+            node, indices = frontier.pop()
+            if indices.size == 0:
+                continue
+            if node is None or node.is_leaf():
+                prediction = None if node is None else node.prediction
+                if isinstance(prediction, (list, tuple, np.ndarray)):
+                    for i in indices.tolist():
+                        out[i] = prediction
+                else:
+                    out[indices] = prediction
+                continue
+            left = matrix[indices, node.feature] <= node.threshold
+            frontier.append((node.left, indices[left]))
+            frontier.append((node.right, indices[~left]))
+        return out.tolist()
 
     def _predict_row(self, row: np.ndarray) -> Any:
         node = self._root

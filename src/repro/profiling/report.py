@@ -121,8 +121,12 @@ def duplicate_row_artifact(frame: DataFrame, store) -> tuple[int, ...]:
     )
 
 
-def _resolve_jobs(n_jobs: int | None) -> int:
-    """Worker count: None/0/1 → serial, -1 → all cores, n → n."""
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Worker count: None/0/1 → serial, -1 → all cores, n → n.
+
+    Public seam of the PR-3 executor pattern — shared by every consumer
+    that offers thread-parallel per-column work (profiling, ML repair).
+    """
     if n_jobs is None or n_jobs == 0:
         return 1
     if n_jobs < 0:
@@ -158,7 +162,7 @@ def profile(
             # a session frame hash each column once, not once per call.
             frame.column_fingerprints()
         frame = frame.to_chunked(env_chunk)
-    workers = _resolve_jobs(n_jobs)
+    workers = resolve_jobs(n_jobs)
     if workers > 1:
         with ThreadPoolExecutor(max_workers=workers) as executor:
             return _build_report(frame, histogram_bins, executor, store)

@@ -118,15 +118,27 @@ class Repairer:
     def __init__(self, **config: Any) -> None:
         self.config: dict[str, Any] = dict(config)
 
-    def repair(self, frame: DataFrame, cells: Iterable[Cell]) -> RepairResult:
-        """Propose replacement values for each detected cell."""
+    def repair(
+        self, frame: DataFrame, cells: Iterable[Cell], store: Any = None
+    ) -> RepairResult:
+        """Propose replacement values for each detected cell.
+
+        ``store`` is an optional content-addressed artifact cache
+        (duck-typed :class:`~repro.core.artifacts.ArtifactStore`):
+        repairers that derive models from frame content — tokenizations,
+        co-occurrence statistics — publish and reuse them keyed by
+        column fingerprints, so a detect → repair cycle over identical
+        content fits each model once. A disabled store is falsy and is
+        normalized to ``None`` here, keeping the kill-switch path free
+        of fingerprint hashing.
+        """
         wanted = {
             (row, column)
             for row, column in cells
             if 0 <= row < frame.num_rows and column in frame
         }
         start = time.perf_counter()
-        outcome = self._repair(frame, wanted)
+        outcome = self._repair(frame, wanted, store=store if store else None)
         repairs, metadata = outcome[0], outcome[1]
         patches = outcome[2] if len(outcome) == 3 else None
         elapsed = time.perf_counter() - start
@@ -139,12 +151,15 @@ class Repairer:
             patches=patches,
         )
 
-    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
+    def _repair(
+        self, frame: DataFrame, cells: set[Cell], store: Any = None
+    ) -> tuple:
         """Return ``(repairs, metadata)`` or ``(repairs, metadata, patches)``.
 
         Subclasses that already group their work per column should return
         the third element — ``{column: (rows, values)}`` — so application
-        skips regrouping the cell dict.
+        skips regrouping the cell dict. ``store`` is the (already
+        normalized, enabled-or-None) artifact cache from :meth:`repair`.
         """
         raise NotImplementedError
 

@@ -4,6 +4,17 @@ Reuses the detector's co-occurrence model: for every detected cell the
 candidate value with the highest smoothed posterior given the row's other
 attributes is chosen. Numeric columns are repaired with the mean of the
 winning quantile bin.
+
+The proposal stage is an array program over the integer token codes
+emitted by :meth:`~repro.detection.holoclean.HoloCleanDetector.tokenize`:
+one :meth:`~repro.detection.holoclean.CooccurrenceModel.score_matrix`
+call per repaired column yields the ``(n_cells, domain)`` log-posterior
+matrix, and a row-wise ``argmax`` (over candidates in str order, first
+maximum wins) picks each repair — bit-identical to the historical
+per-candidate ``log_score`` loop, including tie-breaking. With an
+artifact ``store``, tokens and the fitted model are content-addressed
+(``repair:tokens`` / ``repair:cooccurrence``), so repairing cells that
+are already null reuses the model the detector just fitted.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from typing import Any, Hashable
 import numpy as np
 
 from ..dataframe import Cell, DataFrame
-from ..detection.holoclean import CooccurrenceModel, HoloCleanDetector, _MISSING
+from ..detection.holoclean import HoloCleanDetector, TokenColumn
 from .base import Repairer, group_cells_by_column, mask_cells
 
 
@@ -27,66 +38,100 @@ class HoloCleanRepairer(Repairer):
         self.n_bins = n_bins
         self.alpha = alpha
 
-    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
+    def _repair(
+        self, frame: DataFrame, cells: set[Cell], store: Any = None
+    ) -> tuple:
         masked = mask_cells(frame, cells)
         tokenizer = HoloCleanDetector(n_bins=self.n_bins, alpha=self.alpha)
-        tokens = tokenizer.tokenize(masked)
-        model = CooccurrenceModel(alpha=self.alpha).fit(tokens)
+        tokens = tokenizer.tokenize(masked, store=store)
+        model = tokenizer.fitted_model(masked, tokens, store=store)
         bin_values = self._bin_representatives(masked, tokens)
         repairs: dict[Cell, Any] = {}
         patches: dict[str, tuple[list[int], list[Any]]] = {}
+        domain_sizes: dict[str, int] = {}
         for column_name, rows in group_cells_by_column(cells).items():
             column = masked.column(column_name)
-            domain = sorted(model.domain(column_name), key=str)
-            column_values: list[Any] = []
-            for row in rows:
-                if not domain:
-                    value = self._fallback(column)
-                else:
-                    row_tokens = {
-                        name: tokens[name][row] for name in frame.column_names
-                    }
-                    best = max(
-                        domain,
-                        key=lambda candidate: model.log_score(
-                            column_name, candidate, row_tokens
-                        ),
-                    )
-                    value = self._materialize(
-                        column_name, column, best, bin_values
-                    )
-                column_values.append(value)
+            tcol = tokens[column_name]
+            n_domain = len(tcol.tokens)
+            domain_sizes[column_name] = n_domain
+            if n_domain == 0:
+                value = self._fallback(column)
+                column_values: list[Any] = [value] * len(rows)
+            else:
+                order = sorted(
+                    range(n_domain), key=lambda c: str(tcol.tokens[c])
+                )
+                best = self._argmax_scores(model, column_name, rows, order)
+                numeric = column.is_numeric()
+                int_dtype = column.dtype == "int"
+                fallback: Any = None
+                have_fallback = False
+                column_values = []
+                for pick in best:
+                    token = tcol.tokens[order[pick]]
+                    if not numeric:
+                        column_values.append(token)
+                        continue
+                    value = bin_values.get((column_name, token))
+                    if value is None:
+                        if not have_fallback:
+                            fallback = self._fallback(column)
+                            have_fallback = True
+                        column_values.append(fallback)
+                    elif int_dtype:
+                        column_values.append(int(round(value)))
+                    else:
+                        column_values.append(value)
+            for row, value in zip(rows, column_values):
                 repairs[(row, column_name)] = value
             patches[column_name] = (rows, column_values)
-        return repairs, {"domain_sizes": {}}, patches
+        return repairs, {"domain_sizes": domain_sizes}, patches
+
+    #: Element budget for one (rows, domain) score-matrix block; blocks
+    #: bound peak memory on high-cardinality domains (the score matrix
+    #: plus its joint/count/log temporaries all scale with rows x domain).
+    _SCORE_BLOCK_ELEMENTS = 2_000_000
+
+    def _argmax_scores(
+        self, model: Any, column_name: str, rows: list[int], order: list[int]
+    ) -> list[int]:
+        """Row-blocked ``argmax`` over the full-domain score matrix.
+
+        Each block computes its ``(block, domain)`` log-posterior matrix
+        and reduces it to per-row argmax positions immediately, so peak
+        memory stays bounded no matter how large the domain is. The
+        per-row computation (and the first-maximum tie-break over the
+        str-ordered candidates) is unchanged.
+        """
+        candidate_codes = np.asarray(order, dtype=np.int64)
+        block = max(1, self._SCORE_BLOCK_ELEMENTS // max(1, len(order)))
+        best: list[int] = []
+        for start in range(0, len(rows), block):
+            chunk = np.asarray(rows[start : start + block], dtype=np.intp)
+            scores = model.score_matrix(column_name, chunk, candidate_codes)
+            best.extend(np.argmax(scores, axis=1).tolist())
+        return best
 
     # ------------------------------------------------------------------
     def _bin_representatives(
-        self, frame: DataFrame, tokens: dict[str, list[Hashable]]
+        self, frame: DataFrame, tokens: dict[str, TokenColumn]
     ) -> dict[tuple[str, Hashable], float]:
         """Mean observed value per (numeric column, bin token).
 
-        Tokens are factorized once per column; each bin's observations
-        are gathered with a stable sort (row order preserved) and
-        averaged with ``np.mean``, so the representatives are
-        bit-identical to the historical per-row list appends.
+        Each bin's observations are gathered with a stable sort (row
+        order preserved) over the token codes and averaged with
+        ``np.mean``, so the representatives are bit-identical to the
+        historical per-row list appends.
         """
         representatives: dict[tuple[str, Hashable], float] = {}
         for name in frame.numeric_column_names():
             column = frame.column(name)
-            column_tokens = tokens[name]
-            index: dict[Hashable, int] = {}
-            codes = np.fromiter(
-                (index.setdefault(t, len(index)) for t in column_tokens),
-                dtype=np.int64,
-                count=len(column_tokens),
-            )
-            valid = ~column.mask()
-            if _MISSING in index:
-                valid &= codes != index[_MISSING]
+            tcol = tokens[name]
+            codes = tcol.codes
+            valid = codes != tcol.missing_code
             if not valid.any():
                 continue
-            data = column.values_array()[valid].astype(float)
+            data = np.asarray(column.values_array())[valid].astype(float)
             bin_codes = codes[valid]
             order = np.argsort(bin_codes, kind="stable")
             sorted_data = data[order]
@@ -94,35 +139,19 @@ class HoloCleanRepairer(Repairer):
             boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
             starts = np.concatenate(([0], boundaries)).tolist()
             ends = np.concatenate((boundaries, [len(sorted_codes)])).tolist()
-            code_to_token = {code: token for token, code in index.items()}
             for start, end in zip(starts, ends):
-                token = code_to_token[int(sorted_codes[start])]
+                token = tcol.tokens[int(sorted_codes[start])]
                 representatives[(name, token)] = float(
                     np.mean(sorted_data[start:end])
                 )
         return representatives
 
-    def _materialize(
-        self,
-        column_name: str,
-        column: Any,
-        token: Hashable,
-        bin_values: dict[tuple[str, Hashable], float],
-    ) -> Any:
-        if not column.is_numeric():
-            return token
-        value = bin_values.get((column_name, token))
-        if value is None:
-            return self._fallback(column)
-        if column.dtype == "int":
-            return int(round(value))
-        return value
-
     @staticmethod
     def _fallback(column: Any) -> Any:
-        values = column.non_missing()
-        if not values:
+        mask = np.asarray(column.mask())
+        if not (~mask).any():
             return 0.0 if column.is_numeric() else "Dummy"
         if column.is_numeric():
-            return float(np.mean([float(v) for v in values]))
+            data = np.asarray(column.values_array())[~mask].astype(float)
+            return float(np.mean(data))
         return column.value_counts().most_common(1)[0][0]

@@ -42,7 +42,9 @@ class StandardImputer(Repairer):
         self.categorical_strategy = categorical_strategy
         self.dummy_value = dummy_value
 
-    def _repair(self, frame: DataFrame, cells: set[Cell]) -> tuple:
+    def _repair(
+        self, frame: DataFrame, cells: set[Cell], store: Any = None
+    ) -> tuple:
         masked = mask_cells(frame, cells)
         repairs: dict[Cell, Any] = {}
         patches: dict[str, tuple[list[int], list[Any]]] = {}

@@ -39,6 +39,22 @@ class TestHoloCleanDetector:
         tokens = HoloCleanDetector().tokenize(frame)
         assert tokens["x"][1] == "__missing__"
 
+    def test_tokenize_emits_integer_codes(self):
+        import numpy as np
+
+        frame = DataFrame.from_dict(
+            {"x": [1.0, 2.0, None, 1.0], "c": ["a", None, "b", "a"]}
+        )
+        tokens = HoloCleanDetector(n_bins=2).tokenize(frame)
+        for name in ("x", "c"):
+            tcol = tokens[name]
+            assert tcol.codes.dtype == np.int64
+            assert len(tcol) == 4
+            # missing rows carry the reserved code len(tokens)
+            assert tcol.codes[tcol.codes == tcol.missing_code].size == 1
+        assert tokens["c"].tokens == ["a", "b"]
+        assert tokens["c"].codes.tolist() == [0, 2, 1, 0]
+
     def test_detects_contextual_error(self):
         # 'rome'/'fr' contradicts the dominant rome->it co-occurrence.
         rows = [("rome", "it")] * 30 + [("paris", "fr")] * 30 + [("rome", "fr")]

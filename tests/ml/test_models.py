@@ -108,6 +108,36 @@ class TestKNN:
         model = KNeighborsClassifier(n_neighbors=2).fit(features, ["b", "a"])
         assert model.predict(np.array([[0.5]]))[0] == "a"
 
+    def test_distance_ties_take_lowest_train_indices(self):
+        # four equidistant points; stable selection keeps train order,
+        # so the first two (both "a") win over the later "b"s.
+        features = np.array([[1.0], [-1.0], [1.0], [-1.0]])
+        model = KNeighborsClassifier(n_neighbors=2).fit(
+            features, ["a", "a", "b", "b"]
+        )
+        assert model.predict(np.array([[0.0]]))[0] == "a"
+
+    def test_nan_features_fall_back_to_stable_argsort(self):
+        features = np.array([[0.0], [1.0], [2.0]])
+        model = KNeighborsClassifier(n_neighbors=2).fit(
+            features, ["a", "b", "c"]
+        )
+        prediction = model.predict(np.array([[np.nan], [0.1]]))
+        # NaN distances sort last either way; the finite query behaves
+        # exactly like the batched path.
+        assert prediction[1] == "a"
+        assert prediction[0] in {"a", "b", "c"}
+
+    def test_batched_predict_matches_per_row(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(40, 3))
+        labels = [f"l{int(v)}" for v in rng.integers(0, 4, 40)]
+        model = KNeighborsClassifier(n_neighbors=5).fit(features, labels)
+        queries = rng.normal(size=(17, 3))
+        batched = model.predict(queries)
+        per_row = [model.predict(row)[0] for row in queries]
+        assert batched == per_row
+
 
 class TestLinear:
     def test_exact_line(self):

@@ -19,36 +19,40 @@ import numpy as np
 import pytest
 
 
-def _load_incremental_workload():
-    """Load the workload shared with benchmarks/bench_incremental_session.py.
+def _load_bench_module(file_name: str, module_name: str):
+    """Load a workload module shared with benchmarks/.
 
     Budget and recorded trajectory must always measure the same frame
-    shape and repair pattern; benchmarks/ is not a package, so the module
-    is loaded by file path — no sys.path mutation leaks into the suite.
+    shape and repair pattern; benchmarks/ is not a package, so modules
+    are loaded by file path — no sys.path mutation leaks into the suite.
     """
-    path = (
-        Path(__file__).resolve().parents[2]
-        / "benchmarks"
-        / "incremental_workload.py"
-    )
-    spec = importlib.util.spec_from_file_location("_incremental_workload", path)
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / file_name
+    spec = importlib.util.spec_from_file_location(module_name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
-_workload = _load_incremental_workload()
+_workload = _load_bench_module(
+    "incremental_workload.py", "_incremental_workload"
+)
 make_incremental_frame = _workload.make_incremental_frame
 one_percent_repair = _workload.one_percent_repair
 INCREMENTAL_COLS = _workload.N_COLUMNS
 
+_repair_workload = _load_bench_module("repair_reference.py", "_repair_reference")
+make_repair_frame = _repair_workload.make_repair_frame
+sample_dirty_cells = _repair_workload.sample_dirty_cells
+
 from repro.core.artifacts import ArtifactStore
 from repro.dataframe import DataFrame, group_by, inner_join, sort_by
 from repro.detection.base import DetectionContext
+from repro.detection.holoclean import CooccurrenceModel, HoloCleanDetector
 from repro.detection.outliers import SDDetector
 from repro.fd import StrippedPartition
 from repro.profiling import profile
 from repro.profiling.stats import numeric_summary
+from repro.repair import HoloCleanRepairer, MLImputer
 from repro.repair.base import RepairResult
 
 N_ROWS = 50_000
@@ -282,6 +286,62 @@ def test_incremental_reprofile_after_repair_beats_cold_5x(incremental_frame):
         f"by >= 5x on {INCREMENTAL_ROWS}x{INCREMENTAL_COLS} "
         f"(got {cold / warm:.1f}x)"
     )
+
+
+@pytest.fixture(scope="module")
+def repair_frame() -> DataFrame:
+    """The shared 50k x 10 frame for the repair-proposal budgets."""
+    return make_repair_frame(N_ROWS)
+
+
+def test_cooccurrence_fit_stays_vectorized(repair_frame):
+    """The fit must stay an array program — no per-row Python loop.
+
+    Vectorized (bincount/unique contingency tables): ~0.04s here. The
+    retained Counter-based triple loop: ~2.5s at this scale, so the
+    budget fails loudly if the fit ever goes per-row again.
+    """
+    tokens = HoloCleanDetector().tokenize(repair_frame)
+    elapsed = _best_of(lambda: CooccurrenceModel().fit(tokens))
+    assert elapsed < 0.4, f"co-occurrence fit took {elapsed:.3f}s on 50k rows"
+
+
+def test_holoclean_repair_stays_batched(repair_frame):
+    """1%-of-cells HoloClean repair on 50k x 10 must stay batched.
+
+    Vectorized (one score_matrix + argmax per column): ~0.17s here; the
+    retained per-candidate log_score loop costs ~2.9s (the >= 15x win
+    recorded in benchmarks/bench_repair_scale.py).
+    """
+    cells = sample_dirty_cells(repair_frame, seed=5)
+    assert len(cells) == (N_ROWS * 10) // 100
+    repairer = HoloCleanRepairer()
+    elapsed = _best_of(lambda: repairer.repair(repair_frame, cells), repeats=2)
+    result = repairer.repair(repair_frame, cells)
+    assert len(result.repairs) == len(cells)
+    assert set(result.metadata["domain_sizes"]) == {c for _, c in cells}
+    assert elapsed < 1.2, f"holoclean repair took {elapsed:.3f}s for 1% of cells"
+
+
+def test_ml_impute_knn_stays_batched(repair_frame):
+    """Categorical k-NN imputation must use the batched predict path.
+
+    1000 dirty cells over two string columns at 50k train rows:
+    block-broadcasted distances + partition top-k run in ~2.5s here;
+    the per-row stable-argsort loop plus per-target re-encoding costs
+    ~7s, and a per-cell Python fallback far more.
+    """
+    rng = np.random.default_rng(2)
+    cells = {
+        (int(row), column)
+        for column in ("city", "brand")
+        for row in rng.choice(N_ROWS, 500, replace=False)
+    }
+    imputer = MLImputer()
+    elapsed = _best_of(lambda: imputer.repair(repair_frame, cells), repeats=2)
+    result = imputer.repair(repair_frame, cells)
+    assert result.metadata["models"] == {"city": "knn", "brand": "knn"}
+    assert elapsed < 6.0, f"knn imputation took {elapsed:.3f}s for 1k cells"
 
 
 def test_repair_apply_stays_batched(synthetic_frame):

@@ -112,6 +112,18 @@ class TestMLImputer:
         result = MLImputer().repair(frame, {(4, "y")})
         assert isinstance(result.repairs[(4, "y")], int)
 
+    def test_parallel_jobs_match_serial(self, numeric_frame):
+        cells = {(i, "y") for i in range(0, 12)} | {(i, "x") for i in range(3)}
+        serial = MLImputer().repair(numeric_frame, cells)
+        parallel = MLImputer(n_jobs=-1).repair(numeric_frame, cells)
+        assert parallel.repairs == serial.repairs
+        assert parallel.patches == serial.patches
+
+    def test_fallback_int_mean_matches_python_sum(self):
+        frame = DataFrame.from_dict({"x": [1, 2, 4, None], "y": [1, 2, 3, 4]})
+        column = frame.column("x")
+        assert MLImputer._fallback(column) == float((1.0 + 2.0 + 4.0) / 3)
+
     def test_better_than_mean_on_structured_data(self, numeric_frame):
         cells = {(i, "y") for i in range(0, 20)}
         truth = [numeric_frame.at(i, "y") for i in range(20)]
@@ -148,6 +160,26 @@ class TestHoloCleanRepairer:
         cells = set(list(hospital_dirty.mask)[:40])
         result = HoloCleanRepairer().repair(hospital_dirty.dirty, cells)
         assert len(result.repairs) == len(cells)
+
+    def test_domain_sizes_metadata_populated(self, hospital_dirty):
+        """Regression: domain_sizes used to be hardcoded to {}."""
+        cells = set(list(hospital_dirty.mask)[:40])
+        result = HoloCleanRepairer().repair(hospital_dirty.dirty, cells)
+        sizes = result.metadata["domain_sizes"]
+        assert set(sizes) == {column for _, column in cells}
+        assert all(isinstance(size, int) for size in sizes.values())
+        assert any(size > 1 for size in sizes.values())
+
+    def test_domain_sizes_count_distinct_masked_tokens(self):
+        rows = [("rome", "it")] * 20 + [("paris", "fr")] * 20
+        frame = DataFrame.from_dict(
+            {
+                "city": [city for city, _ in rows],
+                "country": [country for _, country in rows],
+            }
+        )
+        result = HoloCleanRepairer().repair(frame, {(0, "country")})
+        assert result.metadata["domain_sizes"] == {"country": 2}
 
 
 class TestRepairResult:
