@@ -2,7 +2,7 @@
 
 from .app import create_app
 from .client import TestClient
-from .http import HTTPError, Request, Response, Router, serve
+from .http import HTTPError, Request, Response, Router, sanitize_json, serve
 
 __all__ = [
     "HTTPError",
@@ -11,5 +11,6 @@ __all__ = [
     "Router",
     "TestClient",
     "create_app",
+    "sanitize_json",
     "serve",
 ]

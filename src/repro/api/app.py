@@ -83,6 +83,12 @@ def create_app(lens: DataLens) -> Router:
         session = lens.session(request.path_params["name"])
         return session.cache_stats()
 
+    @router.get("/datasets/{name}/spill")
+    def get_spill_stats(request: Request) -> dict:
+        """Spill-store residency counters for the session's working frame."""
+        session = lens.session(request.path_params["name"])
+        return session.spill_stats()
+
     # ------------------------------------------------------------------
     @router.post("/datasets/{name}/rules/discover")
     def discover_rules(request: Request) -> dict:

@@ -10,12 +10,34 @@ in-process through :class:`repro.api.client.TestClient`.
 from __future__ import annotations
 
 import json
+import logging
+import math
 import re
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlparse
+
+logger = logging.getLogger(__name__)
+
+
+def sanitize_json(value: Any) -> Any:
+    """Replace non-finite floats with None, recursively.
+
+    ``json.dumps`` happily emits ``NaN`` / ``Infinity`` — JavaScript
+    literals that RFC 8259 forbids and strict parsers reject — so every
+    response body passes through here before serialization. Statistics
+    over degenerate columns (std of one value, correlation of constants)
+    are where they come from; ``null`` is the faithful wire encoding.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json(item) for item in value]
+    return value
 
 
 @dataclass
@@ -37,7 +59,12 @@ class Response:
     body: Any = None
 
     def to_bytes(self) -> bytes:
-        return json.dumps(self.body, default=str).encode("utf-8")
+        # allow_nan=False backstops the sanitizer: a non-finite float
+        # that slips past it (e.g. inside an unexpected container type)
+        # raises loudly instead of emitting invalid JSON.
+        return json.dumps(
+            sanitize_json(self.body), default=str, allow_nan=False
+        ).encode("utf-8")
 
 
 class HTTPError(Exception):
@@ -110,6 +137,16 @@ class Router:
                 return Response(404, {"detail": str(error)})
             except (ValueError, RuntimeError) as error:
                 return Response(400, {"detail": str(error)})
+            except Exception as error:  # noqa: BLE001 — catch-all: a handler
+                # bug must surface as a 500 JSON body, not a dead socket.
+                logger.exception(
+                    "unhandled error in handler for %s %s",
+                    request.method,
+                    request.path,
+                )
+                return Response(
+                    500, {"detail": f"{type(error).__name__}: {error}"}
+                )
             if isinstance(outcome, Response):
                 return outcome
             return Response(200, outcome)

@@ -19,22 +19,60 @@ import sys
 from pathlib import Path
 
 from .core import DataSheet, make_detector, make_repairer
-from .dataframe import read_csv, write_csv
+from .dataframe import (
+    SpillStore,
+    parse_byte_size,
+    read_csv,
+    read_csv_chunked,
+    write_csv,
+)
 from .detection import DetectionContext, merge_results
 from .fd import approximate_fds, discover_fds, discover_fds_hyfd
 from .ingestion import PRELOADED, load_clean
 from .profiling import profile
 
 
-def _load_frame(path: str):
-    source = Path(path)
+def _load_frame(args: argparse.Namespace):
+    source = Path(args.data)
     if not source.exists() and source.stem in PRELOADED:
         return load_clean(source.stem)
-    return read_csv(source)
+    chunk_size = getattr(args, "chunk_size", None)
+    spill_budget = getattr(args, "spill_budget", None)
+    spill_dir = getattr(args, "spill_dir", None)
+    if chunk_size is None and spill_budget is None and spill_dir is None:
+        return read_csv(source)
+    spill = None  # environment default (DATALENS_SPILL_BUDGET)
+    if spill_budget is not None or spill_dir is not None:
+        spill = SpillStore(
+            budget_bytes=(
+                parse_byte_size(spill_budget, "--spill-budget")
+                if spill_budget is not None
+                else None
+            ),
+            directory=spill_dir,
+        )
+    return read_csv_chunked(source, chunk_size=chunk_size, spill=spill)
+
+
+def _add_scale_options(command: argparse.ArgumentParser) -> None:
+    """Chunking/spilling flags shared by the frame-loading commands."""
+    command.add_argument(
+        "--chunk-size",
+        type=int,
+        help="stream the CSV into shards of this many rows",
+    )
+    command.add_argument(
+        "--spill-budget",
+        help="spill shards to disk, keeping at most this many bytes "
+        "resident (k/m/g suffixes allowed); implies chunked loading",
+    )
+    command.add_argument(
+        "--spill-dir", help="directory for spill files (default: temp dir)"
+    )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    frame = _load_frame(args.data)
+    frame = _load_frame(args)
     report = profile(frame)
     if args.json:
         print(report.to_json())
@@ -66,7 +104,7 @@ def _run_detection(frame, tools: list[str]):
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    frame = _load_frame(args.data)
+    frame = _load_frame(args)
     results, cells = _run_detection(frame, args.tools)
     for result in results:
         print(f"{result.tool:18s} {len(result.cells):6d} cells "
@@ -80,7 +118,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_repair(args: argparse.Namespace) -> int:
-    frame = _load_frame(args.data)
+    frame = _load_frame(args)
     _, cells = _run_detection(frame, args.tools)
     repairer = make_repairer(args.repairer)
     result = repairer.repair(frame, cells)
@@ -94,7 +132,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
-    frame = _load_frame(args.data)
+    frame = _load_frame(args)
     if args.algorithm == "tane":
         rules = discover_fds(frame, max_lhs_size=args.max_lhs)
     elif args.algorithm == "hyfd":
@@ -114,7 +152,7 @@ def _cmd_datasheet(args: argparse.Namespace) -> int:
         print("only 'replay' is supported", file=sys.stderr)
         return 2
     sheet = DataSheet.load(args.sheet)
-    frame = _load_frame(args.data)
+    frame = _load_frame(args)
     repaired = sheet.replay(frame)
     print(f"replayed {len(sheet.detection_tools)} detector(s) + "
           f"{len(sheet.repair_tools)} repairer(s) from {args.sheet}")
@@ -141,12 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd = commands.add_parser("profile", help="profile a CSV")
     profile_cmd.add_argument("data")
     profile_cmd.add_argument("--json", action="store_true")
+    _add_scale_options(profile_cmd)
     profile_cmd.set_defaults(func=_cmd_profile)
 
     detect_cmd = commands.add_parser("detect", help="run detection tools")
     detect_cmd.add_argument("data")
     detect_cmd.add_argument("--tools", nargs="+", default=["iqr", "mv_detector"])
     detect_cmd.add_argument("--output")
+    _add_scale_options(detect_cmd)
     detect_cmd.set_defaults(func=_cmd_detect)
 
     repair_cmd = commands.add_parser("repair", help="detect then repair")
@@ -154,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     repair_cmd.add_argument("--tools", nargs="+", default=["union_broad"])
     repair_cmd.add_argument("--repairer", default="ml_imputer")
     repair_cmd.add_argument("--output")
+    _add_scale_options(repair_cmd)
     repair_cmd.set_defaults(func=_cmd_repair)
 
     rules_cmd = commands.add_parser("rules", help="discover FD rules")

@@ -1,6 +1,13 @@
 """DataLens core: controller, iterative cleaning, user-in-the-loop, DataSheets."""
 
-from .artifacts import ARTIFACT_CACHE_ENV, ArtifactStore, cache_enabled_by_env
+from .artifacts import (
+    ARTIFACT_CACHE_BYTES_ENV,
+    ARTIFACT_CACHE_ENV,
+    ArtifactStore,
+    cache_enabled_by_env,
+    cache_max_bytes_from_env,
+    estimate_artifact_bytes,
+)
 from .controller import DataLens, DataLensSession
 from .datasheet import DataSheet
 from .explain import CellExplanation, Evidence, explain_cell, explain_session
@@ -42,11 +49,14 @@ from .registry import (
 from .tagging import TagRegistry
 
 __all__ = [
+    "ARTIFACT_CACHE_BYTES_ENV",
     "ARTIFACT_CACHE_ENV",
     "ArtifactStore",
     "CLASSIFICATION",
     "COMPOSITE_PRESETS",
     "cache_enabled_by_env",
+    "cache_max_bytes_from_env",
+    "estimate_artifact_bytes",
     "CellExplanation",
     "Evidence",
     "ParsedRule",

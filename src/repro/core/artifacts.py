@@ -51,6 +51,19 @@ since the vectorized repair-proposal engine — ``repair:tokens``
 column fingerprint), which let a detect → repair cycle over
 content-identical frames tokenize and fit once.
 
+Bounding
+--------
+The LRU bound is two-dimensional: ``max_entries`` caps the entry count
+and ``max_bytes`` (optional; also settable via the
+``DATALENS_ARTIFACT_CACHE_BYTES`` environment variable, with ``k`` /
+``m`` / ``g`` suffixes) caps the *estimated* resident bytes — entries
+are size-weighted via :func:`estimate_artifact_bytes` (numpy ``nbytes``
+plus a recursive container estimate), so one row-scaled artifact (rank
+vector, stripped partition) counts for what it holds. Eviction pops
+least-recently-used entries until both bounds are satisfied; the
+newest entry always survives, so a single artifact larger than
+``max_bytes`` is cached (one-entry floor) rather than rejected.
+
 Disabling
 ---------
 Setting ``DATALENS_ARTIFACT_CACHE=0`` (or ``false`` / ``off`` / ``no``)
@@ -63,13 +76,22 @@ from __future__ import annotations
 
 import copy as _copy
 import os
+import sys
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
+import numpy as np
+
+from ..dataframe.spill import parse_byte_size
+
 #: Environment variable gating the cache. Any value other than the
 #: falsey tokens below (default: unset = enabled) keeps caching on.
 ARTIFACT_CACHE_ENV = "DATALENS_ARTIFACT_CACHE"
+
+#: Environment variable holding the default byte bound for stores
+#: constructed without an explicit ``max_bytes``.
+ARTIFACT_CACHE_BYTES_ENV = "DATALENS_ARTIFACT_CACHE_BYTES"
 
 _FALSEY = {"0", "false", "off", "no"}
 
@@ -83,6 +105,74 @@ def cache_enabled_by_env() -> bool:
     """Whether the environment allows artifact caching (default: yes)."""
     raw = os.environ.get(ARTIFACT_CACHE_ENV, "").strip().lower()
     return raw not in _FALSEY
+
+
+def cache_max_bytes_from_env() -> int | None:
+    """Byte bound requested via the environment, or None when unset."""
+    raw = os.environ.get(ARTIFACT_CACHE_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    return parse_byte_size(raw, ARTIFACT_CACHE_BYTES_ENV)
+
+
+def estimate_artifact_bytes(value: Any) -> int:
+    """Best-effort recursive byte estimate of one cached artifact.
+
+    Numpy arrays count their buffer (``nbytes``); containers recurse
+    over their items; arbitrary objects (stripped partitions, fitted
+    co-occurrence models, report sections) recurse over their attribute
+    dicts and slots. Shared sub-objects are counted once — this sizes a
+    cache *entry*, approximating what evicting it would free.
+    """
+    return _estimate_bytes(value, set())
+
+
+def _estimate_bytes(value: Any, seen: set[int]) -> int:
+    if value is None or isinstance(value, (bool, int, float, complex)):
+        return sys.getsizeof(value)
+    if isinstance(value, (str, bytes, bytearray)):
+        return sys.getsizeof(value)
+    if isinstance(value, np.generic):
+        return sys.getsizeof(value)
+    marker = id(value)
+    if marker in seen:
+        return 0
+    seen.add(marker)
+    if isinstance(value, np.ndarray):
+        total = sys.getsizeof(value)
+        if not value.flags.owndata:
+            total += int(value.nbytes)  # views: count the data they pin
+        if value.dtype == object:
+            total += sum(
+                _estimate_bytes(item, seen) for item in value.flat
+            )
+        return total
+    if isinstance(value, dict):
+        return sys.getsizeof(value) + sum(
+            _estimate_bytes(key, seen) + _estimate_bytes(item, seen)
+            for key, item in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sys.getsizeof(value) + sum(
+            _estimate_bytes(item, seen) for item in value
+        )
+    total = sys.getsizeof(value)
+    state = getattr(value, "__dict__", None)
+    if state:
+        total += sum(
+            _estimate_bytes(key, seen) + _estimate_bytes(item, seen)
+            for key, item in state.items()
+        )
+    for klass in type(value).__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for slot in slots or ():
+            try:
+                total += _estimate_bytes(getattr(value, slot), seen)
+            except AttributeError:
+                continue
+    return total
 
 
 Key = tuple[str, tuple[str, ...], tuple]
@@ -103,30 +193,39 @@ class ArtifactStore:
     concurrent misses on one key may compute twice and last-put wins,
     which is harmless because values are pure functions of the key.
 
-    The size bound counts entries, not bytes: per-column artifacts are
-    small dicts, but rank vectors and stripped partitions scale with row
-    count, so a long session over very large frames can hold
-    ``max_entries`` × O(rows) memory in the worst case. Pass a smaller
-    ``max_entries`` for memory-tight deployments (a byte-aware bound is
-    a roadmap item).
+    The bound is entry-count *and* byte aware: ``max_entries`` caps how
+    many artifacts stay resident, ``max_bytes`` (default: the
+    ``DATALENS_ARTIFACT_CACHE_BYTES`` environment override, else
+    unbounded) caps their summed :func:`estimate_artifact_bytes` sizes —
+    the size-weighted eviction that keeps long sessions over very large
+    frames bounded by memory, not by entry count. The most recent entry
+    is never evicted by the byte bound (one-entry floor).
     """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         enabled: bool | None = None,
+        max_bytes: int | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is None:
+            max_bytes = cache_max_bytes_from_env()
+        elif max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.enabled = cache_enabled_by_env() if enabled is None else bool(enabled)
-        #: key -> (value, deepcopy_on_get)
-        self._entries: OrderedDict[Key, tuple[Any, bool]] = OrderedDict()
+        #: key -> (value, deepcopy_on_get, estimated_bytes)
+        self._entries: OrderedDict[Key, tuple[Any, bool, int]] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.total_bytes = 0
+        self.evicted_bytes = 0
         self._by_kind: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
@@ -168,7 +267,7 @@ class ArtifactStore:
             self._entries.move_to_end(key)
             self.hits += 1
             kind_stats["hits"] += 1
-            value, deep = entry
+            value, deep, _ = entry
         # Deep copies happen outside the lock — only the (immutable-by-
         # convention) stored reference is read under it.
         return True, (_copy.deepcopy(value) if deep else value)
@@ -192,14 +291,25 @@ class ArtifactStore:
             return
         key = self.make_key(kind, fingerprints, params)
         snapshot = _copy.deepcopy(value) if copy else value
+        # Size (and snapshot) outside the lock — only bookkeeping inside.
+        nbytes = estimate_artifact_bytes(snapshot)
         with self._lock:
-            self._entries[key] = (snapshot, copy)
-            self._entries.move_to_end(key)
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.total_bytes -= previous[2]
+            self._entries[key] = (snapshot, copy, nbytes)
+            self.total_bytes += nbytes
             self.puts += 1
             self._kind_stats(key[0])["puts"] += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self.total_bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, (_, _, evicted_nbytes) = self._entries.popitem(last=False)
+                self.total_bytes -= evicted_nbytes
                 self.evictions += 1
+                self.evicted_bytes += evicted_nbytes
 
     def cached(
         self,
@@ -209,7 +319,13 @@ class ArtifactStore:
         compute: Callable[[], Any],
         copy: bool = False,
     ) -> Any:
-        """Get-or-compute convenience wrapper around :meth:`get`/:meth:`put`."""
+        """Get-or-compute convenience wrapper around :meth:`get`/:meth:`put`.
+
+        Thread-safe by composition: it touches shared state only through
+        :meth:`get` and :meth:`put` (each locking internally) and never
+        holds the lock across ``compute()`` — concurrent misses may
+        compute twice and last-put wins, per the class contract.
+        """
         fingerprints = tuple(fingerprints)
         params = tuple(params)
         hit, value = self.get(kind, fingerprints, params)
@@ -231,12 +347,16 @@ class ArtifactStore:
         return self.enabled
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Taken under the lock: len(OrderedDict) is atomic in CPython,
+        # but the store promises thread safety, not CPython internals.
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (stats are preserved)."""
         with self._lock:
             self._entries.clear()
+            self.total_bytes = 0
 
     def stats(self) -> dict[str, Any]:
         """Counters for the dashboard / REST cache endpoint."""
@@ -246,6 +366,9 @@ class ArtifactStore:
                 "enabled": self.enabled,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "total_bytes": self.total_bytes,
+                "evicted_bytes": self.evicted_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "puts": self.puts,

@@ -104,6 +104,20 @@ class DataLensSession:
         """Hit/miss/eviction counters of the session's artifact store."""
         return self.artifacts.stats()
 
+    def spill_stats(self) -> dict[str, Any]:
+        """Residency counters of the working frame's spill store.
+
+        ``{"enabled": False}`` when the frame is not spilled — never
+        loaded with a spill configuration, or already materialized by a
+        dense access.
+        """
+        from ..dataframe import spill_store_of
+
+        store = spill_store_of(self.frame)
+        if store is None:
+            return {"enabled": False}
+        return {"enabled": True, **store.stats()}
+
     def version_history(self) -> list[dict[str, Any]]:
         return [commit.to_dict() for commit in self.delta.history()]
 
@@ -402,10 +416,12 @@ class DataLens:
 
     ``chunk_size`` makes every session load its dataset as a streamed
     :class:`~repro.dataframe.ChunkedFrame` (sharded storage, per-chunk
-    profiling partials); ``profile_jobs`` sets the default thread count
-    for :meth:`DataLensSession.profile` (None/1 = serial, -1 = all
-    cores). Both default to off, and results are bit-identical either
-    way.
+    profiling partials); ``spill_budget`` / ``spill_dir`` additionally
+    spill the shards to disk behind a byte-bounded resident cache (see
+    :mod:`repro.dataframe.spill`), which is how a dataset larger than
+    RAM is served; ``profile_jobs`` sets the default thread count for
+    :meth:`DataLensSession.profile` (None/1 = serial, -1 = all cores).
+    All default to off, and results are bit-identical either way.
     """
 
     def __init__(
@@ -414,10 +430,15 @@ class DataLens:
         seed: int = 0,
         chunk_size: int | None = None,
         profile_jobs: int | None = None,
+        spill_budget: int | None = None,
+        spill_dir: str | Path | None = None,
     ) -> None:
         self.workspace_dir = Path(workspace_dir)
         self.loader = DataLoader(
-            self.workspace_dir / "datasets", chunk_size=chunk_size
+            self.workspace_dir / "datasets",
+            chunk_size=chunk_size,
+            spill_budget=spill_budget,
+            spill_dir=spill_dir,
         )
         self.tracking = TrackingClient(self.workspace_dir / "mlruns")
         self.seed = seed

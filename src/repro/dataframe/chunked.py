@@ -37,6 +37,17 @@ Chunking contract
 
 Every derived frame (``select``/``take``/``sort_by``/...) is monolithic;
 chunking is a property of the stored table, not of query results.
+
+Out-of-core spilling
+--------------------
+:mod:`repro.dataframe.spill` extends this layer with
+:class:`~repro.dataframe.spill.SpilledChunkedColumn`, whose shards live
+on disk behind the :meth:`ChunkedColumn._shard_pairs` seam instead of in
+RAM. Setting ``DATALENS_SPILL_BUDGET`` (bytes; ``k``/``m``/``g``
+suffixes allowed) makes the streaming ingestion paths spill their shards
+with that resident byte budget, and ``DATALENS_SPILL_DIR`` overrides
+where the spill files go. Spilled columns obey the full chunking
+contract above — spilled ≡ resident ≡ monolithic, bit for bit.
 """
 
 from __future__ import annotations
@@ -67,7 +78,12 @@ def default_chunk_size() -> int | None:
     raw = os.environ.get(CHUNK_SIZE_ENV, "").strip()
     if not raw:
         return None
-    size = int(raw)
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CHUNK_SIZE_ENV} must be an integer chunk size, got {raw!r}"
+        ) from None
     if size < 1:
         raise ValueError(f"{CHUNK_SIZE_ENV} must be >= 1, got {size}")
     return size
@@ -374,11 +390,31 @@ class ChunkedFrame(DataFrame):
     # ------------------------------------------------------------------
     @classmethod
     def from_frame(
-        cls, frame: DataFrame, chunk_size: int | None = None
+        cls,
+        frame: DataFrame,
+        chunk_size: int | None = None,
+        spill: Any = None,
     ) -> "ChunkedFrame":
-        """Chunk a monolithic frame at ``chunk_size`` rows per chunk."""
+        """Chunk a monolithic frame at ``chunk_size`` rows per chunk.
+
+        ``spill`` (a :class:`~repro.dataframe.spill.SpillStore` or True)
+        writes the shards to disk instead of keeping them resident. It is
+        explicit-only here — the ``DATALENS_SPILL_BUDGET`` environment
+        override applies to the *ingestion* paths, because spilling a
+        frame that is already in memory cannot lower its peak RSS.
+        """
         size = resolve_chunk_size(chunk_size)
         lengths = chunk_lengths_for(frame.num_rows, size)
+        if spill is not None and spill is not False:
+            from .spill import SpilledChunkedColumn, resolve_spill_store
+
+            store = resolve_spill_store(spill)
+            return cls(
+                SpilledChunkedColumn.from_column(
+                    frame.column(name), lengths, store
+                )
+                for name in frame.column_names
+            )
         return cls(
             ChunkedColumn.from_column(frame.column(name), lengths)
             for name in frame.column_names
@@ -401,12 +437,14 @@ class ChunkedFrame(DataFrame):
             yield DataFrame(next(iterators[name]) for name in iterators)
 
     def rechunk(self, chunk_size: int | None = None) -> "ChunkedFrame":
-        """Return a copy re-sharded at ``chunk_size`` rows per chunk."""
+        """Return a copy re-sharded at ``chunk_size`` rows per chunk.
+
+        Dispatches through :meth:`ChunkedColumn.rechunk`, so spilled
+        columns re-shard shard-by-shard and stay spilled.
+        """
         size = resolve_chunk_size(chunk_size)
-        lengths = chunk_lengths_for(self.num_rows, size)
         return ChunkedFrame(
-            ChunkedColumn.from_column(self._columns[name], lengths)
-            for name in self._columns
+            self._columns[name].rechunk(size) for name in self._columns
         )
 
     def to_chunked(self, chunk_size: int | None = None) -> "ChunkedFrame":

@@ -325,15 +325,18 @@ class DataFrame:
     # ------------------------------------------------------------------
     # Chunking (see repro.dataframe.chunked for the contract)
     # ------------------------------------------------------------------
-    def to_chunked(self, chunk_size: int | None = None):
+    def to_chunked(self, chunk_size: int | None = None, spill=None):
         """Return a :class:`~repro.dataframe.chunked.ChunkedFrame` copy.
 
         ``chunk_size`` defaults to the ``DATALENS_DEFAULT_CHUNK_SIZE``
-        environment override, else the built-in default.
+        environment override, else the built-in default. ``spill`` (a
+        :class:`~repro.dataframe.spill.SpillStore` or True) writes the
+        shards to disk — explicit-only; the spill environment override
+        applies to ingestion, not to in-memory conversion.
         """
         from .chunked import ChunkedFrame
 
-        return ChunkedFrame.from_frame(self, chunk_size)
+        return ChunkedFrame.from_frame(self, chunk_size, spill=spill)
 
     def rechunk(self, chunk_size: int | None = None):
         """Alias of :meth:`to_chunked` on a monolithic frame."""

@@ -10,6 +10,14 @@ inference incrementally over the lattice, and re-coerces already-packed
 shards at the array level on the rare widening events — producing a
 :class:`~repro.dataframe.chunked.ChunkedFrame` whose values and dtypes
 are bit-identical to :func:`read_csv`.
+
+With a spill store (an explicit ``spill=`` argument, or the
+``DATALENS_SPILL_BUDGET`` environment override), each packed shard is
+written to disk as soon as it is built and the frame's columns come back
+as :class:`~repro.dataframe.spill.SpilledChunkedColumn` — the ingest
+then holds one chunk of rows plus the store's resident budget, so the
+CSV can be far larger than RAM. ``write_csv`` streams chunk by chunk for
+the same reason (byte-identical output either way).
 """
 
 from __future__ import annotations
@@ -69,12 +77,14 @@ class _StreamingColumnBuilder:
     result is identical to coercing the raw parsed values once.
     """
 
-    def __init__(self, name: str, declared: str | None):
+    def __init__(self, name: str, declared: str | None, store=None):
         if declared is not None and declared not in _types.DTYPES:
             raise ValueError(f"unknown dtype {declared!r}")
         self.name = name
         self.declared = declared
-        self.shards: list[tuple[np.ndarray, np.ndarray]] = []
+        #: (data, mask) pairs, or ShardHandles when spilling to a store.
+        self.shards: list = []
+        self.store = store
         self.dtype: str | None = declared
         self._saw_bool = False
         self._saw_int = False
@@ -118,18 +128,41 @@ class _StreamingColumnBuilder:
                 self.dtype = target
             elif target != self.dtype:
                 self.shards = [
-                    _convert_shard(data, mask, self.dtype, target)
-                    for data, mask in self.shards
+                    self._convert(shard, target) for shard in self.shards
                 ]
                 self.dtype = target
         coerced = [_types.coerce(value, self.dtype) for value in values]
-        self.shards.append(_pack(coerced, self.dtype))
+        pair = _pack(coerced, self.dtype)
+        if self.store is not None:
+            self.shards.append(self.store.spill(*pair))
+        else:
+            self.shards.append(pair)
+
+    def _convert(self, shard, target: str):
+        """Widen one shard — loading, re-coercing, and re-spilling if spilled."""
+        if self.store is None:
+            data, mask = shard
+            return _convert_shard(data, mask, self.dtype, target)
+        data, mask = self.store.load(shard)
+        # Copy out of the (possibly mmapped, read-only) loaded arrays
+        # before the old files are released.
+        converted = _convert_shard(
+            np.array(data), np.array(mask), self.dtype, target
+        )
+        self.store.release(shard)
+        return self.store.spill(*converted)
 
     def finish(self):
         from .chunked import ChunkedColumn
 
         if self.dtype is None:  # zero data rows
             self.dtype = _types.STRING
+        if self.store is not None:
+            from .spill import SpilledChunkedColumn
+
+            return SpilledChunkedColumn.from_handles(
+                self.name, self.dtype, self.shards, self.store
+            )
         return ChunkedColumn.from_shards(self.name, self.dtype, self.shards)
 
 
@@ -169,14 +202,18 @@ def read_csv_chunked(
     delimiter: str = ",",
     dtypes: Mapping[str, str] | None = None,
     chunk_size: int | None = None,
+    spill=None,
 ):
     """Stream a CSV file into a ChunkedFrame, ``chunk_size`` rows per shard.
 
     Bit-identical to :func:`read_csv` (same parsing, inference, and
     coercion) but never holds more than one chunk of Python row objects.
+    ``spill`` may be a :class:`~repro.dataframe.spill.SpillStore`, True
+    (fresh store), False (never spill), or None — the default, which
+    spills when ``DATALENS_SPILL_BUDGET`` is set.
     """
     with open(path, "r", newline="", encoding="utf-8") as handle:
-        return _read_csv_stream(handle, delimiter, dtypes, chunk_size)
+        return _read_csv_stream(handle, delimiter, dtypes, chunk_size, spill)
 
 
 def read_csv_text_chunked(
@@ -184,9 +221,12 @@ def read_csv_text_chunked(
     delimiter: str = ",",
     dtypes: Mapping[str, str] | None = None,
     chunk_size: int | None = None,
+    spill=None,
 ):
     """Chunked variant of :func:`read_csv_text`."""
-    return _read_csv_stream(io.StringIO(text), delimiter, dtypes, chunk_size)
+    return _read_csv_stream(
+        io.StringIO(text), delimiter, dtypes, chunk_size, spill
+    )
 
 
 def _read_csv_stream(
@@ -194,10 +234,13 @@ def _read_csv_stream(
     delimiter: str,
     dtypes: Mapping[str, str] | None,
     chunk_size: int | None,
+    spill=None,
 ):
     from .chunked import ChunkedFrame, resolve_chunk_size
+    from .spill import resolve_spill_store
 
     size = resolve_chunk_size(chunk_size)
+    store = resolve_spill_store(spill)
     dtypes = dtypes or {}
     reader = csv.reader(handle, delimiter=delimiter)
     header_row = next(reader, None)
@@ -205,7 +248,8 @@ def _read_csv_stream(
         raise ValueError("CSV input is empty (no header row)")
     header = [name.strip() for name in header_row]
     builders = [
-        _StreamingColumnBuilder(name, dtypes.get(name)) for name in header
+        _StreamingColumnBuilder(name, dtypes.get(name), store=store)
+        for name in header
     ]
     buffers: list[list[Any]] = [[] for _ in header]
     buffered = 0
@@ -229,10 +273,19 @@ def _read_csv_stream(
 
 
 def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",") -> None:
-    """Write a DataFrame to CSV; missing cells become empty fields."""
+    """Write a DataFrame to CSV; missing cells become empty fields.
+
+    Streams chunk by chunk (a monolithic frame is one chunk), so a
+    spilled frame is persisted without ever materializing — the output
+    bytes are identical to :func:`to_csv_text` either way.
+    """
     Path(path).parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="", encoding="utf-8") as handle:
-        handle.write(to_csv_text(frame, delimiter=delimiter))
+        writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
+        writer.writerow(frame.column_names)
+        for chunk in frame.iter_chunks():
+            for i in range(chunk.num_rows):
+                writer.writerow([_render(v) for v in chunk.row_tuple(i)])
 
 
 def to_csv_text(frame: DataFrame, delimiter: str = ",") -> str:

@@ -12,11 +12,28 @@ from .base import DetectionContext, Detector
 
 
 def _unique_with_codes(column, codes: np.ndarray):
-    """Yield one (value, code) representative per distinct value code."""
+    """Yield one (value, code) representative per distinct value code.
+
+    Streams the column's shards (a monolithic column is one shard) so a
+    spilled column is not densified just to read one cell per code; the
+    consumer indexes verdicts by code, so yield order does not matter.
+    """
     _, first_indices = np.unique(codes, return_index=True)
-    data = column.values_array()
-    for index in first_indices.tolist():
-        yield data[index], int(codes[index])
+    targets = np.sort(first_indices).tolist()
+    position = 0
+    offset = 0
+    for chunk in column.iter_chunks():
+        end = offset + len(chunk)
+        data = None
+        while position < len(targets) and targets[position] < end:
+            index = targets[position]
+            if data is None:
+                data = chunk.values_array()
+            yield data[index - offset], int(codes[index])
+            position += 1
+        if position == len(targets):
+            return
+        offset = end
 
 
 class MVDetector(Detector):

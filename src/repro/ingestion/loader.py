@@ -15,9 +15,11 @@ from pathlib import Path
 
 from ..dataframe import (
     DataFrame,
+    SpillStore,
     default_chunk_size,
     read_csv,
     read_csv_chunked,
+    spill_enabled_by_env,
     write_csv,
 )
 from .datasets import PRELOADED, load_clean
@@ -54,19 +56,49 @@ class DataLoader:
     shard without materializing the full table as Python rows. When not
     given, the ``DATALENS_DEFAULT_CHUNK_SIZE`` environment override
     applies; when neither is set, loads stay monolithic.
+
+    ``spill_budget`` / ``spill_dir`` additionally spill the packed
+    shards to disk (see :mod:`repro.dataframe.spill`), bounding resident
+    shard bytes during and after the load — this is the beyond-RAM
+    ingestion path. Either setting implies chunked loads; when neither
+    is given, the ``DATALENS_SPILL_BUDGET`` / ``DATALENS_SPILL_DIR``
+    environment overrides apply.
     """
 
     def __init__(
-        self, base_dir: str | Path, chunk_size: int | None = None
+        self,
+        base_dir: str | Path,
+        chunk_size: int | None = None,
+        spill_budget: int | None = None,
+        spill_dir: str | Path | None = None,
     ) -> None:
         self.base_dir = Path(base_dir)
         self.base_dir.mkdir(parents=True, exist_ok=True)
         self.chunk_size = chunk_size
+        self.spill_budget = spill_budget
+        self.spill_dir = spill_dir
 
     def _effective_chunk_size(self) -> int | None:
         if self.chunk_size is not None:
             return self.chunk_size
         return default_chunk_size()
+
+    def _spill_requested(self) -> bool:
+        if self.spill_budget is not None or self.spill_dir is not None:
+            return True
+        return spill_enabled_by_env()
+
+    def _spill_store(self) -> SpillStore | None:
+        """A fresh store for one load when spilling is explicitly set.
+
+        Returns None otherwise, letting ``read_csv_chunked`` apply the
+        environment default.
+        """
+        if self.spill_budget is not None or self.spill_dir is not None:
+            return SpillStore(
+                budget_bytes=self.spill_budget, directory=self.spill_dir
+            )
+        return None
 
     # ------------------------------------------------------------------
     def workspace_for(self, dataset_name: str) -> DatasetWorkspace:
@@ -125,8 +157,12 @@ class DataLoader:
                 f"dataset {dataset_name!r} has no {DIRTY_FILE_NAME}"
             )
         chunk_size = self._effective_chunk_size()
-        if chunk_size is not None:
-            return read_csv_chunked(workspace.dirty_path, chunk_size=chunk_size)
+        if chunk_size is not None or self._spill_requested():
+            return read_csv_chunked(
+                workspace.dirty_path,
+                chunk_size=chunk_size,
+                spill=self._spill_store(),
+            )
         return read_csv(workspace.dirty_path)
 
     def list_datasets(self) -> list[str]:

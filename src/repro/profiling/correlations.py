@@ -154,8 +154,12 @@ def _float_samples(column) -> np.ndarray:
     A complete float64 column is returned as its read-only backing view
     (the pair kernels only read); anything else takes the same
     ``to_numpy`` copy-and-nan path as before. Values are identical
-    either way, so pair results are unchanged.
+    either way, so pair results are unchanged. Multi-shard and spilled
+    columns go straight to ``to_numpy`` so shards are gathered without
+    pinning dense storage on the column.
     """
+    if getattr(column, "n_chunks", 1) > 1 or getattr(column, "spilled", False):
+        return column.to_numpy()
     data = column.values_array()
     if data.dtype == np.float64 and not np.asarray(column.mask()).any():
         return np.asarray(data)

@@ -1,11 +1,29 @@
 """Router/framework tests for the REST layer."""
 
 import json
+import math
 import urllib.request
 
 import pytest
 
-from repro.api import HTTPError, Request, Response, Router, TestClient, serve
+from repro.api import (
+    HTTPError,
+    Request,
+    Response,
+    Router,
+    TestClient,
+    sanitize_json,
+    serve,
+)
+
+
+def _strict_loads(raw: bytes):
+    """json.loads that rejects the NaN/Infinity JS literals (RFC 8259)."""
+
+    def reject(token):
+        raise ValueError(f"non-finite literal {token!r} on the wire")
+
+    return json.loads(raw, parse_constant=reject)
 
 
 @pytest.fixture
@@ -33,6 +51,28 @@ def router():
     @router.get("/missing")
     def missing(request):
         raise KeyError("nothing here")
+
+    @router.get("/crash")
+    def crash(request):
+        raise TypeError("handler bug: 'NoneType' is not subscriptable")
+
+    @router.get("/stats")
+    def stats(request):
+        # Profile-shaped payload with the non-finite floats degenerate
+        # statistics produce (std of one value, correlation of constants).
+        return {
+            "columns": [
+                {
+                    "name": "x",
+                    "statistics": {
+                        "mean": 1.5,
+                        "std": float("nan"),
+                        "skewness": float("inf"),
+                        "coefficient_of_variation": float("-inf"),
+                    },
+                }
+            ]
+        }
 
     return router
 
@@ -76,6 +116,55 @@ class TestRouter:
         assert ("GET", "/items") in routes
         assert ("POST", "/items") in routes
 
+    def test_unexpected_exception_is_500_json(self, router, caplog):
+        """A handler bug maps to a 500 JSON body, not an escaped exception."""
+        import logging
+
+        with caplog.at_level(logging.ERROR, logger="repro.api.http"):
+            response = TestClient(router).get("/crash")
+        assert response.status == 500
+        assert response.body == {
+            "detail": "TypeError: handler bug: 'NoneType' is not subscriptable"
+        }
+        # The traceback is logged for the operator.
+        assert any(
+            record.exc_info is not None and "/crash" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_http_error_still_wins_over_catch_all(self, router):
+        assert TestClient(router).post("/items", {}).status == 422
+
+
+class TestSanitizeJson:
+    def test_non_finite_floats_become_null(self):
+        assert sanitize_json(float("nan")) is None
+        assert sanitize_json(float("inf")) is None
+        assert sanitize_json(float("-inf")) is None
+        assert sanitize_json(1.5) == 1.5
+        assert sanitize_json({"a": [float("nan"), (2.0, float("inf"))]}) == {
+            "a": [None, [2.0, None]]
+        }
+        assert sanitize_json("NaN") == "NaN"  # strings pass through
+
+    def test_nan_payload_serializes_to_strict_json(self, router):
+        response = TestClient(router).get("/stats")
+        assert response.status == 200
+        # The in-process client skips serialization; the wire bytes are
+        # what the fix is about, so parse them strictly.
+        stats = _strict_loads(response.to_bytes())["columns"][0]["statistics"]
+        assert stats["mean"] == 1.5
+        assert stats["std"] is None
+        assert stats["skewness"] is None
+        assert stats["coefficient_of_variation"] is None
+
+    def test_to_bytes_emits_rfc8259_parseable_bytes(self):
+        raw = Response(
+            200, {"std": float("nan"), "values": [math.inf, 2.5]}
+        ).to_bytes()
+        assert b"NaN" not in raw and b"Infinity" not in raw
+        assert _strict_loads(raw) == {"std": None, "values": [None, 2.5]}
+
 
 class TestRealServer:
     def test_socket_roundtrip(self, router):
@@ -102,5 +191,43 @@ class TestRealServer:
             )
             with urllib.request.urlopen(request, timeout=5) as response:
                 assert response.status == 201
+        finally:
+            server.shutdown()
+
+    def test_socket_nan_payload_is_strict_json(self, router):
+        """Regression: NaN statistics used to reach the socket as the
+        ``NaN`` JS literal, which strict clients reject."""
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=5
+            ) as response:
+                raw = response.read()
+            assert b"NaN" not in raw and b"Infinity" not in raw
+            stats = _strict_loads(raw)["columns"][0]["statistics"]
+            assert stats["std"] is None
+            assert stats["mean"] == 1.5
+        finally:
+            server.shutdown()
+
+    def test_socket_unexpected_exception_is_500_not_dead_socket(self, router):
+        """Regression: an unhandled handler exception used to escape into
+        BaseHTTPRequestHandler and kill the connection without a response."""
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/crash", timeout=5
+                )
+            assert excinfo.value.code == 500
+            payload = json.loads(excinfo.value.read())
+            assert payload["detail"].startswith("TypeError: handler bug")
+            # The server must still answer subsequent requests.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/items", timeout=5
+            ) as response:
+                assert json.loads(response.read()) == {"items": [1, 2, 3]}
         finally:
             server.shutdown()

@@ -15,9 +15,12 @@ import numpy as np
 import pytest
 
 from repro.core.artifacts import (
+    ARTIFACT_CACHE_BYTES_ENV,
     ARTIFACT_CACHE_ENV,
     ArtifactStore,
     cache_enabled_by_env,
+    cache_max_bytes_from_env,
+    estimate_artifact_bytes,
 )
 from repro.core.quality import quality_summary
 from repro.dataframe import Column, DataFrame
@@ -186,6 +189,128 @@ class TestArtifactStore:
         store.put("k", ("fp",), (), 1)
         store.clear()
         assert len(store) == 0 and store.puts == 1
+        assert store.stats()["total_bytes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Byte-aware bounding
+# ----------------------------------------------------------------------
+class TestByteBound:
+    def test_byte_budget_evicts_lru(self):
+        store = ArtifactStore(max_entries=100, max_bytes=20_000, enabled=True)
+        store.put("k", ("a",), (), np.zeros(1000))  # ~8KB each
+        store.put("k", ("b",), (), np.zeros(1000))
+        store.get("k", ("a",), ())  # refresh a → b is now LRU
+        store.put("k", ("c",), (), np.zeros(1000))
+        assert len(store) == 2
+        assert store.get("k", ("b",), ())[0] is False
+        assert store.get("k", ("a",), ())[0] is True
+        stats = store.stats()
+        assert stats["total_bytes"] <= store.max_bytes
+        assert stats["evicted_bytes"] > 0
+        assert stats["max_bytes"] == 20_000
+
+    def test_oversized_artifact_keeps_one_entry_floor(self):
+        """One artifact bigger than the budget is cached, not refused."""
+        store = ArtifactStore(max_bytes=64, enabled=True)
+        store.put("k", ("big",), (), np.zeros(1000))
+        assert len(store) == 1
+        assert store.get("k", ("big",), ())[0] is True
+        # The next put evicts it (budget holds at most this one entry).
+        store.put("k", ("big2",), (), np.zeros(1000))
+        assert len(store) == 1
+        assert store.get("k", ("big",), ())[0] is False
+
+    def test_replacing_entry_adjusts_total_bytes(self):
+        store = ArtifactStore(max_bytes=1_000_000, enabled=True)
+        store.put("k", ("a",), (), np.zeros(1000))
+        first_total = store.stats()["total_bytes"]
+        store.put("k", ("a",), (), np.zeros(10))
+        assert store.stats()["total_bytes"] < first_total
+        assert len(store) == 1
+
+    def test_entry_and_byte_bounds_compose(self):
+        store = ArtifactStore(max_entries=2, max_bytes=10**9, enabled=True)
+        for tag in ("a", "b", "c"):
+            store.put("k", (tag,), (), tag)
+        assert len(store) == 2  # entry bound still applies
+
+    def test_max_bytes_validated(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_bytes=0)
+
+    def test_max_bytes_from_env(self, monkeypatch):
+        monkeypatch.delenv(ARTIFACT_CACHE_BYTES_ENV, raising=False)
+        assert cache_max_bytes_from_env() is None
+        assert ArtifactStore(enabled=True).max_bytes is None
+        monkeypatch.setenv(ARTIFACT_CACHE_BYTES_ENV, "64k")
+        assert cache_max_bytes_from_env() == 64 * 1024
+        assert ArtifactStore(enabled=True).max_bytes == 64 * 1024
+        # explicit parameter beats the environment
+        assert ArtifactStore(enabled=True, max_bytes=128).max_bytes == 128
+        monkeypatch.setenv(ARTIFACT_CACHE_BYTES_ENV, "junk")
+        with pytest.raises(ValueError, match=ARTIFACT_CACHE_BYTES_ENV):
+            cache_max_bytes_from_env()
+
+    def test_estimate_artifact_bytes_sanity(self):
+        array = np.zeros(1000)
+        assert estimate_artifact_bytes(array) >= array.nbytes
+        view = array[:500]
+        assert estimate_artifact_bytes(view) >= view.nbytes
+        nested = {"a": [np.zeros(100), "text"], "b": (1, 2.5, None)}
+        assert estimate_artifact_bytes(nested) >= 800
+        assert estimate_artifact_bytes("x") < estimate_artifact_bytes(
+            "x" * 10_000
+        )
+
+        class Slotted:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = np.zeros(200)
+
+        assert estimate_artifact_bytes(Slotted()) >= 1600
+        # cycles terminate
+        loop: list = []
+        loop.append(loop)
+        assert estimate_artifact_bytes(loop) > 0
+
+    def test_len_is_thread_safe_during_churn(self):
+        """Regression: ``len(store)`` used to read the dict unlocked and
+        could observe a mid-eviction state while puts run concurrently."""
+        import threading
+
+        store = ArtifactStore(max_entries=8, max_bytes=4096, enabled=True)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def mutator(worker_id: int) -> None:
+            try:
+                for i in range(300):
+                    store.put(
+                        "k", (f"fp{worker_id}-{i}",), (), np.zeros(64)
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    assert 0 <= len(store) <= 8
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=mutator, args=(t,)) for t in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.stats()["total_bytes"] >= 0
 
 
 # ----------------------------------------------------------------------

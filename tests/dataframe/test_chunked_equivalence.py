@@ -300,6 +300,125 @@ class TestStreamingWidening:
 
 
 # ----------------------------------------------------------------------
+# Spilled shards: disk-backed columns match resident and monolithic
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,n", [(0, 23), (1, 60), (2, 1), (3, 0)])
+class TestSpilledPipelineEquivalence:
+    """spilled ≡ resident ≡ monolithic, under heavy eviction churn.
+
+    The resident ≡ monolithic half is pinned by the classes above, so
+    each leg here compares a spilled frame (512-byte budget — far
+    smaller than the data, forcing constant eviction) straight against
+    the monolithic reference. A fresh spilled frame is built per
+    operation because equality checks and quality materialize columns.
+    """
+
+    SIZES = (1, 7, 257)
+
+    def _spilled(self, frame, size):
+        from repro.dataframe import SpillStore, spill_frame
+
+        store = SpillStore(budget_bytes=512)
+        spilled = spill_frame(frame, store=store, chunk_size=size)
+        assert all(
+            spilled.column(name).spilled for name in spilled.column_names
+        )
+        return spilled, store
+
+    def test_profile_bit_identical_and_stays_spilled(
+        self, random_values, seed, n
+    ):
+        frame = random_frame(random_values, seed, n)
+        reference = run_outcome(lambda: profile(frame).to_dict())
+        for size in self.SIZES:
+            spilled, store = self._spilled(frame, size)
+            assert_same_outcome(
+                lambda: profile(spilled).to_dict(),
+                reference,
+                ("profile-spilled", seed, n, size),
+            )
+            # Profiling must stream the shards, not densify the columns.
+            assert all(
+                spilled.column(name).spilled
+                for name in spilled.column_names
+            ), ("profile materialized a spilled column", seed, n, size)
+            if n:
+                assert store.spilled_shards > 0
+
+    def test_detection_bit_identical(self, random_values, seed, n):
+        frame = random_frame(random_values, seed, n)
+        context = DetectionContext()
+        detectors = [
+            SDDetector(k=1.5),
+            IQRDetector(factor=1.0),
+            MVDetector(extra_null_tokens={"v1"}),
+        ]
+        references = [
+            run_outcome(lambda d=d: d._detect(frame, context))
+            for d in detectors
+        ]
+        for size in self.SIZES:
+            for detector, reference in zip(detectors, references):
+                spilled, _ = self._spilled(frame, size)
+                assert_same_outcome(
+                    lambda: detector._detect(spilled, context),
+                    reference,
+                    ("detect-spilled", detector.name, seed, n, size),
+                )
+
+    def test_quality_bit_identical(self, random_values, seed, n):
+        frame = random_frame(random_values, seed, n)
+        reference = run_outcome(lambda: quality_summary(frame))
+        for size in self.SIZES:
+            spilled, _ = self._spilled(frame, size)
+            assert_same_outcome(
+                lambda: quality_summary(spilled),
+                reference,
+                ("quality-spilled", seed, n, size),
+            )
+
+    def test_csv_ingest_bit_identical(self, random_values, seed, n):
+        from repro.dataframe import SpillStore, SpilledChunkedColumn
+
+        frame = random_frame(random_values, seed, n)
+        text = to_csv_text(frame)
+        reference = read_csv_text(text)
+        for size in self.SIZES:
+            streamed = read_csv_text_chunked(
+                text, chunk_size=size, spill=SpillStore(budget_bytes=512)
+            )
+            assert streamed.dtypes() == reference.dtypes()
+            for name in reference.column_names:
+                column = streamed.column(name)
+                assert isinstance(column, SpilledChunkedColumn)
+                assert column.spilled
+            for name in reference.column_names:
+                assert_deep_identical(
+                    streamed.column(name).values(),
+                    reference.column(name).values(),
+                    ("csv-spilled", name, seed, n, size),
+                )
+
+    def test_mutation_releases_spill_and_matches_monolithic(
+        self, random_values, seed, n
+    ):
+        if n < 2:
+            pytest.skip("mutation leg needs at least two rows")
+        frame = random_frame(random_values, seed, n)
+        reference = DataFrame.from_dict(
+            {name: frame.column(name).values() for name in frame.column_names}
+        )
+        reference.column("f").set_many([0, n - 1], [None, 4.5])
+        spilled, _ = self._spilled(frame, 7)
+        column = spilled.column("f")
+        column.set_many([0, n - 1], [None, 4.5])
+        assert not column.spilled
+        assert_deep_identical(
+            column.values(), reference.column("f").values()
+        )
+
+
+# ----------------------------------------------------------------------
 # Chunked mutation keeps every view consistent
 # ----------------------------------------------------------------------
 class TestChunkedMutation:
@@ -381,6 +500,16 @@ class TestChunkConfiguration:
         with pytest.raises(ValueError, match=">= 1"):
             default_chunk_size()
 
+    def test_unparseable_chunk_size_names_env_var_and_value(self, monkeypatch):
+        """The error must say *which* setting is broken and what it held."""
+        from repro.dataframe import default_chunk_size
+
+        monkeypatch.setenv("DATALENS_DEFAULT_CHUNK_SIZE", "banana")
+        with pytest.raises(
+            ValueError, match="DATALENS_DEFAULT_CHUNK_SIZE.*'banana'"
+        ):
+            default_chunk_size()
+
     def test_constructor_and_shard_validation(self):
         from repro.dataframe.column import _pack
 
@@ -402,10 +531,12 @@ class TestChunkConfiguration:
         from repro.dataframe import ChunkedFrame as CF
         from repro.ingestion import DataLoader
 
-        # Without the env override a chunk-size-less loader must stay
+        # Without the env overrides a chunk-size-less loader must stay
         # monolithic (the CI matrix also runs this suite with
-        # DATALENS_DEFAULT_CHUNK_SIZE set, which would flip it).
+        # DATALENS_DEFAULT_CHUNK_SIZE / DATALENS_SPILL_BUDGET set, which
+        # would flip it).
         monkeypatch.delenv("DATALENS_DEFAULT_CHUNK_SIZE", raising=False)
+        monkeypatch.delenv("DATALENS_SPILL_BUDGET", raising=False)
         frame = DataFrame.from_dict({"a": [1, 2, 3, 4, 5], "b": list("vwxyz")})
         loader = DataLoader(tmp_path / "plain")
         loader.ingest_frame("d", frame)
