@@ -32,8 +32,8 @@ from .ingestion import PRELOADED, load_clean
 from .profiling import profile
 
 
-def _load_frame(args: argparse.Namespace):
-    source = Path(args.data)
+def _load_frame(args: argparse.Namespace, attr: str = "data"):
+    source = Path(getattr(args, attr))
     if not source.exists() and source.stem in PRELOADED:
         return load_clean(source.stem)
     chunk_size = getattr(args, "chunk_size", None)
@@ -131,6 +131,31 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_refcheck(args: argparse.Namespace) -> int:
+    from .detection import ReferentialIntegrityDetector
+
+    child = _load_frame(args)
+    parent = _load_frame(args, attr="parent")
+    detector = ReferentialIntegrityDetector(
+        on=args.on,
+        parent=parent,
+        parent_on=args.parent_on,
+        strategy=args.strategy,
+    )
+    result = detector.detect(child, DetectionContext())
+    meta = result.metadata
+    print(f"checked {meta['checked_rows']} of {child.num_rows} rows "
+          f"against {meta['parent_rows']} parent rows on {meta['keys']}: "
+          f"{meta['violating_rows']} violating row(s), "
+          f"{len(result.cells)} cells in {result.runtime_seconds:.3f}s")
+    if args.output:
+        payload = [{"row": row, "column": column}
+                   for row, column in sorted(result.cells)]
+        Path(args.output).write_text(json.dumps(payload), encoding="utf-8")
+        print(f"cells written to {args.output}")
+    return 1 if meta["violating_rows"] and args.strict else 0
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     frame = _load_frame(args)
     if args.algorithm == "tane":
@@ -196,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
     repair_cmd.add_argument("--output")
     _add_scale_options(repair_cmd)
     repair_cmd.set_defaults(func=_cmd_repair)
+
+    refcheck_cmd = commands.add_parser(
+        "refcheck", help="cross-table referential-integrity check"
+    )
+    refcheck_cmd.add_argument("data", help="child CSV (holds the foreign key)")
+    refcheck_cmd.add_argument("parent", help="parent CSV (holds the referenced key)")
+    refcheck_cmd.add_argument("--on", nargs="+", required=True,
+                              help="key column(s) in the child table")
+    refcheck_cmd.add_argument("--parent-on", nargs="+",
+                              help="key column(s) in the parent table "
+                              "(default: same names as --on)")
+    refcheck_cmd.add_argument(
+        "--strategy", choices=("auto", "memory", "partitioned", "merge"),
+        help="force a join strategy (default: planner decides)",
+    )
+    refcheck_cmd.add_argument("--strict", action="store_true",
+                              help="exit 1 when violations are found")
+    refcheck_cmd.add_argument("--output", help="write violating cells as JSON")
+    _add_scale_options(refcheck_cmd)
+    refcheck_cmd.set_defaults(func=_cmd_refcheck)
 
     rules_cmd = commands.add_parser("rules", help="discover FD rules")
     rules_cmd.add_argument("data")

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..dataframe import Column, DataFrame
 from ..dataframe import types as _dtypes
+from ..dataframe.chunked import compressed_chunks, gather_compressed
 from ..fd import FunctionalDependency
 from ..profiling.report import duplicate_row_artifact
 
@@ -45,11 +46,19 @@ def uniqueness(frame: DataFrame, store=None) -> float:
 
 
 def _column_validity(column: Column) -> tuple[int, int]:
-    """``(valid, total)`` non-missing cell counts for one column."""
+    """``(valid, total)`` non-missing cell counts for one column.
+
+    Spill-aware: the numeric branch streams the non-missing payload
+    through :func:`~repro.dataframe.chunked.compressed_chunks` (per-shard
+    gathers, bit-identical to the monolithic compression), so quality
+    scoring never densifies — and never un-spills — an out-of-core
+    column. The categorical branch already goes through ``codes()``,
+    which is chunk-native.
+    """
     mask = column.mask()
     n_valid = len(column) - int(mask.sum())
     if column.is_numeric():
-        finite = column.values_array()[~mask].astype(float)
+        finite = gather_compressed(compressed_chunks(column))
         if len(finite) < 4:
             return len(finite), n_valid
         q1, q3 = np.quantile(finite, [0.25, 0.75])

@@ -21,6 +21,7 @@ from ..detection import (
     MVDetector,
     NADEEFDetector,
     RAHADetector,
+    ReferentialIntegrityDetector,
     SDDetector,
     UnionEnsemble,
 )
@@ -36,6 +37,7 @@ _DETECTORS: dict[str, Callable[..., Detector]] = {
     "katara": KATARADetector,
     "holoclean": HoloCleanDetector,
     "raha": RAHADetector,
+    "referential_integrity": ReferentialIntegrityDetector,
 }
 
 _REPAIRERS: dict[str, Callable[..., Repairer]] = {

@@ -360,6 +360,45 @@ class DataFrame:
         yield self
 
     # ------------------------------------------------------------------
+    # Relational operators (see repro.dataframe.joins for the contract)
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        right: "DataFrame",
+        on: Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+        strategy: str | None = None,
+        n_partitions: int | None = None,
+    ) -> "DataFrame":
+        """Join with ``right`` on equality of the ``on`` columns.
+
+        ``how`` is ``"inner"``/``"left"``/``"outer"``; ``strategy``
+        forces a physical plan (``"memory"``/``"partitioned"``/
+        ``"merge"``), else the planner picks one. Works uniformly on
+        monolithic, chunked, and spilled frames.
+        """
+        from .joins import join as _join
+
+        return _join(
+            self,
+            right,
+            on,
+            how=how,
+            suffix=suffix,
+            strategy=strategy,
+            n_partitions=n_partitions,
+        )
+
+    def group_by(
+        self, columns: Sequence[str], aggregations: Mapping[str, tuple[str, Any]]
+    ) -> "DataFrame":
+        """Grouped aggregation; see :func:`repro.dataframe.ops.group_by`."""
+        from .ops import group_by as _group_by
+
+        return _group_by(self, columns, aggregations)
+
+    # ------------------------------------------------------------------
     # Missing data
     # ------------------------------------------------------------------
     def missing_mask(self) -> dict[str, list[bool]]:

@@ -1,0 +1,1356 @@
+"""Chunk-native physical join and aggregation operators.
+
+This module turns the dataframe layer into an out-of-core query engine:
+joins and grouped aggregation run chunk by chunk over
+:class:`~repro.dataframe.chunked.ChunkedFrame` inputs (spilled shards
+stream through the owning :class:`~repro.dataframe.spill.SpillStore`'s
+LRU) and only the *result* is densified — query output is monolithic per
+the chunking contract, the inputs stay sharded/spilled.
+
+Join strategies
+---------------
+``join`` picks a physical strategy via :func:`resolve_join_strategy`:
+
+* ``memory`` — the classic joint-codes hash join (factorize both key
+  sides together, sort the right side once, probe with searchsorted).
+  Densifies both inputs; the right choice for in-RAM frames.
+* ``partitioned`` — a Grace-style partitioned hash join: each side's
+  chunks are split into ``n_partitions`` buckets by an
+  equality-respecting key hash, bucket pairs are joined independently
+  with the same joint-codes kernel, and the per-partition pairs are
+  merged back into global row order. When either input is spilled the
+  buckets themselves spill through the same store, so peak residency
+  stays at the store budget.
+* ``merge`` — a sorted-merge join for inputs already sorted on the key
+  (ascending, missing last — the order :func:`repro.dataframe.sort_by`
+  produces). Streams one key run per side at a time and never builds a
+  hash table. Explicit-only: the planner never guesses sortedness.
+* ``auto`` (default) — ``partitioned`` when either input is spilled,
+  else ``memory``.
+
+``DATALENS_JOIN_STRATEGY`` overrides the default strategy process-wide
+(CI forces ``partitioned`` to run the whole suite through the
+out-of-core path); ``DATALENS_JOIN_PARTITIONS`` overrides the partition
+count. All strategies produce bit-identical results.
+
+Key-hash partitioning invariants
+--------------------------------
+The partition hash must respect join equality, which follows Python
+``==`` (``2 == 2.0 == True`` across numeric columns; strings never equal
+numbers). Numeric values therefore hash through their ``float64`` bit
+pattern (``+ 0.0`` first, so ``-0.0`` and ``0.0`` — which are equal —
+share a hash; ints beyond 2**53 may collide after rounding, which is
+harmless: partitioning only requires that *equal* keys land in the same
+bucket, never that unequal keys land apart). Huge object-backed ints
+that overflow ``float`` hash as ``±inf``. Strings hash by CRC-32 of
+their UTF-8 bytes, a domain that can overlap the numeric hashes —
+again harmless. Rows with *any* missing key cell are excluded before
+partitioning (SQL join semantics: they can never match), so bucket
+shards carry no null masks.
+
+Null semantics of left/outer unmatched rows
+-------------------------------------------
+``left_join`` keeps every left row; ``outer_join`` additionally appends
+every unmatched right row (in right row order) after all left rows.
+Cells drawn from the absent side are missing (``None``) with the
+canonical fill value in the backing array, exactly as if constructed
+from ``None`` — null-mask-correct, so fingerprints and downstream
+kernels see ordinary missing cells. Outer-join key columns are widened
+to :func:`repro.dataframe.types.common_dtype` of the two sides; matched
+rows keep the *left* key value, right-only rows the right value, each
+coerced by the standard :func:`repro.dataframe.types.coerce` lattice.
+Rows whose key contains a missing cell never match — a left row with a
+null key survives a left/outer join unmatched, and a right row with a
+null key appears in the outer result as a right-only row.
+
+Merge-join sortedness precondition
+----------------------------------
+``merge`` requires both inputs sorted on the key columns: the sort-key
+tuples (:func:`repro.dataframe.ops._sort_key` per cell — numbers before
+strings, missing last) of consecutive *distinct* key runs must strictly
+increase. Violations raise ``ValueError`` naming the side, the
+offending key, and its row; both inputs are validated end to end even
+when the merge itself could have stopped early, so the error is
+deterministic and independent of chunk boundaries.
+
+Grouped aggregation
+-------------------
+:func:`grouped_aggregate` folds each chunk into per-group partial
+states and merges them exactly, preserving the monolithic ``group_by``
+contract bit for bit: float sums re-enter each chunk's ``bincount``
+as a carry (a fold starting at ``+0.0`` can never produce ``-0.0``,
+so the carry re-add is a bitwise no-op), int sums merge as
+arbitrary-precision Python ints, min/max merge per group keeping the
+first-seen value on ties, and everything else (object-backed columns,
+custom callables) buffers per-group Python value lists in row order and
+applies the callback at the end — the exact fallback the monolithic
+path uses, including its exception behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+import zlib
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from . import types as _types
+from .chunked import _concat_payload
+from .column import Column
+from .frame import DataFrame
+from .ops import (
+    _MISSING_KEY,
+    _combine_codes,
+    _group_layout,
+    _joint_codes,
+    _resolve_aggregator,
+    _sort_key,
+)
+from .spill import SpillStore, spill_store_of
+
+#: Environment override for the default join strategy.
+JOIN_STRATEGY_ENV = "DATALENS_JOIN_STRATEGY"
+
+#: Environment override for the partitioned-join partition count.
+JOIN_PARTITIONS_ENV = "DATALENS_JOIN_PARTITIONS"
+
+JOIN_STRATEGIES = ("auto", "memory", "partitioned", "merge")
+
+_JOIN_HOWS = ("inner", "left", "outer")
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+def resolve_join_strategy(
+    strategy: str | None, left: DataFrame, right: DataFrame
+) -> str:
+    """Resolve the physical strategy: explicit > environment > auto.
+
+    ``auto`` picks ``partitioned`` when either input is spilled (joining
+    through ``memory`` would densify it), else ``memory``. ``merge`` is
+    never auto-selected — probing sortedness costs a full key scan, so
+    callers opt in explicitly.
+    """
+    if strategy is None:
+        strategy = (
+            os.environ.get(JOIN_STRATEGY_ENV, "").strip().lower() or "auto"
+        )
+    strategy = strategy.lower()
+    if strategy not in JOIN_STRATEGIES:
+        raise ValueError(
+            f"unknown join strategy {strategy!r}; expected one of "
+            f"{list(JOIN_STRATEGIES)}"
+        )
+    if strategy == "auto":
+        if spill_store_of(left) is not None or spill_store_of(right) is not None:
+            return "partitioned"
+        return "memory"
+    return strategy
+
+
+def resolve_join_partitions(
+    n_partitions: int | None,
+    left: DataFrame,
+    right: DataFrame,
+    store: SpillStore | None,
+) -> int:
+    """Partition count: explicit > environment > derived from input size.
+
+    With a store, partitions are sized so one bucket pair fits well
+    inside the resident budget (~64 bytes of key+row payload per row);
+    without one, roughly one partition per 64k input rows.
+    """
+    if n_partitions is None:
+        raw = os.environ.get(JOIN_PARTITIONS_ENV, "").strip()
+        if raw:
+            try:
+                n_partitions = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOIN_PARTITIONS_ENV} must be an integer, got {raw!r}"
+                ) from None
+    if n_partitions is not None:
+        if n_partitions < 1:
+            raise ValueError(
+                f"n_partitions must be >= 1, got {n_partitions}"
+            )
+        return n_partitions
+    total = left.num_rows + right.num_rows
+    if store is not None:
+        per_row = 64
+        derived = -(-per_row * max(total, 1) // max(store.budget_bytes, 1))
+        return max(1, min(256, derived))
+    return max(1, min(64, total // 65_536 + 1))
+
+
+# ----------------------------------------------------------------------
+# Equality-respecting key hashing (see module docstring invariants)
+# ----------------------------------------------------------------------
+_HASH_SEED = np.uint64(0x9E3779B97F4A7C15)
+_HASH_MULT = np.uint64(0x100000001B3)
+
+
+def _mix64(h: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer — diffuses the raw value bits per element."""
+    h = h.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        h ^= h >> np.uint64(30)
+        h *= np.uint64(0xBF58476D1CE4E5B9)
+        h ^= h >> np.uint64(27)
+        h *= np.uint64(0x94D049BB133111EB)
+        h ^= h >> np.uint64(31)
+    return h
+
+
+def _scalar_hash(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8", "surrogatepass"))
+    try:
+        as_float = float(value) + 0.0
+    except OverflowError:
+        as_float = math.inf if value > 0 else -math.inf
+    return struct.unpack("<Q", struct.pack("<d", as_float))[0]
+
+
+def _value_hashes(data: np.ndarray) -> np.ndarray:
+    """Per-element uint64 hashes; equal (Python ``==``) values hash equal."""
+    if data.dtype != object:
+        with np.errstate(over="ignore"):
+            return (data.astype(np.float64) + 0.0).view(np.uint64)
+    out = np.empty(len(data), dtype=np.uint64)
+    for i, value in enumerate(data.tolist()):
+        out[i] = _scalar_hash(value)
+    return out
+
+
+def _partition_ids(
+    key_cols: Sequence[Column], length: int, n_partitions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(valid, partition_id) per row of one chunk's key columns."""
+    valid = np.ones(length, dtype=bool)
+    combined = np.full(length, _HASH_SEED, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for col in key_cols:
+            mask = np.asarray(col.mask())
+            valid &= ~mask
+            combined = (combined * _HASH_MULT) ^ _mix64(
+                _value_hashes(np.asarray(col.values_array()))
+            )
+    pids = (combined % np.uint64(n_partitions)).astype(np.int64)
+    return valid, pids
+
+
+# ----------------------------------------------------------------------
+# Joint-codes probe (shared by memory and partitioned strategies)
+# ----------------------------------------------------------------------
+def _probe_pairs(
+    left_cols: Sequence[Column],
+    right_cols: Sequence[Column],
+    n_left: int,
+    n_right: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matched (left_row, right_row) pairs, sorted by (left, right).
+
+    The joint-codes hash join from ``ops.inner_join``, generalized to
+    operate on any aligned key-column lists (full frames or partition
+    buckets): factorize each key pair jointly, combine into composite
+    codes, sort the right side once, probe with searchsorted, and expand
+    the matching runs.
+    """
+    left_codes = np.zeros(n_left, dtype=np.int64)
+    right_codes = np.zeros(n_right, dtype=np.int64)
+    span = 1
+    left_missing = np.zeros(n_left, dtype=bool)
+    right_missing = np.zeros(n_right, dtype=bool)
+    for l_col, r_col in zip(left_cols, right_cols):
+        extra_left, extra_right, extra_span = _joint_codes(l_col, r_col)
+        left_codes, right_codes, span = _combine_codes(
+            left_codes, right_codes, span, extra_left, extra_right, extra_span
+        )
+        left_missing |= np.asarray(l_col.mask())
+        right_missing |= np.asarray(r_col.mask())
+
+    right_rows_valid = np.flatnonzero(~right_missing)
+    right_order = right_rows_valid[
+        np.argsort(right_codes[right_rows_valid], kind="stable")
+    ]
+    sorted_right = right_codes[right_order]
+    unique_right, unique_starts = np.unique(sorted_right, return_index=True)
+    unique_counts = np.diff(
+        np.concatenate((unique_starts, [len(sorted_right)]))
+    )
+
+    left_rows_valid = np.flatnonzero(~left_missing)
+    probe = left_codes[left_rows_valid]
+    slot = np.searchsorted(unique_right, probe)
+    slot_clipped = np.minimum(slot, max(len(unique_right) - 1, 0))
+    matched = (
+        (slot < len(unique_right)) & (unique_right[slot_clipped] == probe)
+        if len(unique_right)
+        else np.zeros(len(probe), dtype=bool)
+    )
+    match_rows = left_rows_valid[matched]
+    match_slots = slot[matched]
+    match_counts = unique_counts[match_slots]
+
+    left_take = np.repeat(match_rows, match_counts)
+    run_starts = unique_starts[match_slots]
+    cumulative = np.cumsum(match_counts)
+    offsets = (
+        np.arange(int(cumulative[-1]), dtype=np.int64)
+        - np.repeat(cumulative - match_counts, match_counts)
+        if len(match_counts)
+        else np.zeros(0, dtype=np.int64)
+    )
+    right_take = right_order[np.repeat(run_starts, match_counts) + offsets]
+    return left_take.astype(np.int64, copy=False), right_take.astype(
+        np.int64, copy=False
+    )
+
+
+def _join_pairs_memory(
+    left: DataFrame, right: DataFrame, key_names: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    return _probe_pairs(
+        [left.column(name) for name in key_names],
+        [right.column(name) for name in key_names],
+        left.num_rows,
+        right.num_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitioned hash join
+# ----------------------------------------------------------------------
+def _key_chunk_iters(
+    frame: DataFrame, key_names: Sequence[str]
+) -> list[Iterator[Column]]:
+    return [frame.column(name).iter_chunks() for name in key_names]
+
+
+def _partition_side(
+    frame: DataFrame,
+    key_names: Sequence[str],
+    n_partitions: int,
+    store: SpillStore | None,
+) -> list[list[tuple[Any, list[Any]]]]:
+    """Bucket one side's valid-key rows by key hash, chunk by chunk.
+
+    Returns, per partition, a list of per-chunk contributions
+    ``(rows, [key_payload, ...])`` where each element is a raw ndarray
+    (in-memory run) or a :class:`ShardHandle` spilled through ``store``.
+    Only the key columns are read — one shard at a time through the
+    spill LRU for spilled inputs — so partitioning never densifies.
+    """
+    buckets: list[list[tuple[Any, list[Any]]]] = [
+        [] for _ in range(n_partitions)
+    ]
+    iters = _key_chunk_iters(frame, key_names)
+    base = 0
+    for length in frame.chunk_lengths:
+        cols = [next(it) for it in iters]
+        if length == 0:
+            continue
+        if key_names:
+            valid, pids = _partition_ids(cols, length, n_partitions)
+        else:
+            valid = np.ones(length, dtype=bool)
+            pids = np.zeros(length, dtype=np.int64)
+        payloads = [np.asarray(col.values_array()) for col in cols]
+        for p in np.unique(pids[valid]).tolist():
+            local = np.flatnonzero(valid & (pids == p))
+            rows = (base + local).astype(np.int64)
+            pieces = [payload[local] for payload in payloads]
+            if store is not None:
+                # Bound each bucket shard well under the store budget so
+                # loading it back cannot push residency past the budget
+                # (a monolithic input arrives as one huge chunk; slicing
+                # here is what keeps the ≤-budget guarantee input-shape
+                # independent). Object payloads get a rough 64 B/row
+                # estimate; npy/pickle serialization overhead rides in
+                # the remaining 3/4 headroom.
+                per_row = 8 + sum(
+                    64 if piece.dtype == object else piece.itemsize
+                    for piece in pieces
+                )
+                step = len(rows)
+                if store.budget_bytes:
+                    step = max(1, store.budget_bytes // (4 * per_row))
+                for start in range(0, len(rows), step):
+                    rows_slice = rows[start : start + step]
+                    zeros = np.zeros(len(rows_slice), dtype=bool)
+                    buckets[p].append(
+                        (
+                            store.spill(rows_slice, zeros),
+                            [
+                                store.spill(piece[start : start + step], zeros)
+                                for piece in pieces
+                            ],
+                        )
+                    )
+            else:
+                buckets[p].append((rows, pieces))
+        base += length
+    return buckets
+
+
+def _bucket_array(item: Any, store: SpillStore | None, handles: list) -> np.ndarray:
+    if store is not None and not isinstance(item, np.ndarray):
+        handles.append(item)
+        return store.load(item)[0]
+    return item
+
+
+def _load_bucket(
+    contribs: list[tuple[Any, list[Any]]],
+    key_names: Sequence[str],
+    key_dtypes: Sequence[str],
+    store: SpillStore | None,
+) -> tuple[np.ndarray, list[Column], list[Any]]:
+    """Concatenate one partition's contributions into probe-ready columns."""
+    handles: list[Any] = []
+    rows_parts: list[np.ndarray] = []
+    col_parts: list[list[np.ndarray]] = [[] for _ in key_names]
+    for rows_item, piece_items in contribs:
+        rows_parts.append(_bucket_array(rows_item, store, handles))
+        for j, item in enumerate(piece_items):
+            col_parts[j].append(_bucket_array(item, store, handles))
+    rows = (
+        rows_parts[0]
+        if len(rows_parts) == 1
+        else np.concatenate(rows_parts)
+    ).astype(np.int64, copy=False)
+    n = len(rows)
+    no_missing = np.zeros(n, dtype=bool)
+    cols = [
+        Column._from_arrays(
+            name, dtype, _concat_payload(parts), no_missing
+        )
+        for name, dtype, parts in zip(key_names, key_dtypes, col_parts)
+    ]
+    return rows, cols, handles
+
+
+def _release_contribs(
+    contribs: list[tuple[Any, list[Any]]], store: SpillStore | None
+) -> None:
+    if store is None:
+        return
+    for rows_item, piece_items in contribs:
+        store.release(rows_item)
+        for item in piece_items:
+            store.release(item)
+
+
+def _join_pairs_partitioned(
+    left: DataFrame,
+    right: DataFrame,
+    key_names: Sequence[str],
+    n_partitions: int,
+    store: SpillStore | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    l_dtypes = [left.column(name).dtype for name in key_names]
+    r_dtypes = [right.column(name).dtype for name in key_names]
+    l_buckets = _partition_side(left, key_names, n_partitions, store)
+    r_buckets = _partition_side(right, key_names, n_partitions, store)
+    lp_parts: list[np.ndarray] = []
+    rp_parts: list[np.ndarray] = []
+    for p in range(n_partitions):
+        if not l_buckets[p] or not r_buckets[p]:
+            _release_contribs(l_buckets[p], store)
+            _release_contribs(r_buckets[p], store)
+            continue
+        l_rows, l_cols, l_handles = _load_bucket(
+            l_buckets[p], key_names, l_dtypes, store
+        )
+        r_rows, r_cols, r_handles = _load_bucket(
+            r_buckets[p], key_names, r_dtypes, store
+        )
+        left_take, right_take = _probe_pairs(
+            l_cols, r_cols, len(l_rows), len(r_rows)
+        )
+        if len(left_take):
+            lp_parts.append(l_rows[left_take])
+            rp_parts.append(r_rows[right_take])
+        if store is not None:
+            for handle in l_handles + r_handles:
+                store.release(handle)
+    if not lp_parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    lp = np.concatenate(lp_parts)
+    rp = np.concatenate(rp_parts)
+    order = np.lexsort((rp, lp))
+    return lp[order], rp[order]
+
+
+# ----------------------------------------------------------------------
+# Sorted-merge join
+# ----------------------------------------------------------------------
+def _chunk_codes(cols: Sequence[Column], length: int) -> np.ndarray:
+    """Composite per-chunk key codes (``DataFrame.column_codes`` logic)."""
+    if not cols:
+        return np.zeros(length, dtype=np.int64)
+    codes, span = cols[0].codes()
+    for col in cols[1:]:
+        extra, extra_span = col.codes()
+        if extra_span and span > (2**62) // max(extra_span, 1):
+            _, inverse = np.unique(codes, return_inverse=True)
+            codes = inverse.astype(np.int64, copy=False)
+            span = int(codes.max()) + 1 if codes.size else 0
+        codes = codes * extra_span + extra
+        span = span * extra_span
+    return codes
+
+
+def _iter_key_runs(
+    frame: DataFrame, key_names: Sequence[str], side: str
+) -> Iterator[tuple[tuple, bool, np.ndarray]]:
+    """Yield ``(sort_key, has_missing, rows)`` per distinct key run.
+
+    Runs are maximal blocks of consecutive rows with equal keys; equal
+    runs merge across chunk boundaries, so the decomposition is
+    chunking-invariant. Raises ``ValueError`` when consecutive distinct
+    runs do not strictly increase (the merge-join sortedness
+    precondition); the generator must be drained to validate the tail.
+    """
+    iters = _key_chunk_iters(frame, key_names)
+    base = 0
+    pending: tuple[tuple, bool, np.ndarray] | None = None
+    for length in frame.chunk_lengths:
+        cols = [next(it) for it in iters]
+        if length == 0:
+            continue
+        codes = _chunk_codes(cols, length)
+        boundaries = np.flatnonzero(np.diff(codes)) + 1
+        starts = np.concatenate(([0], boundaries)).tolist()
+        ends = np.concatenate((boundaries, [length])).tolist()
+        for s, e in zip(starts, ends):
+            raw = tuple(col[s] for col in cols)
+            skey = tuple(_sort_key(value) for value in raw)
+            has_missing = any(value is None for value in raw)
+            rows = np.arange(base + s, base + e, dtype=np.int64)
+            if pending is not None and skey == pending[0]:
+                pending = (
+                    pending[0],
+                    pending[1],
+                    np.concatenate([pending[2], rows]),
+                )
+                continue
+            if pending is not None:
+                if not skey > pending[0]:
+                    raise ValueError(
+                        f"merge join requires the {side} input sorted on "
+                        f"{list(key_names)}: key {raw!r} at row {base + s} "
+                        f"breaks the sort order"
+                    )
+                yield pending
+            pending = (skey, has_missing, rows)
+        base += length
+    if pending is not None:
+        yield pending
+
+
+def _join_pairs_merge(
+    left: DataFrame, right: DataFrame, key_names: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    left_runs = _iter_key_runs(left, key_names, "left")
+    right_runs = _iter_key_runs(right, key_names, "right")
+    lp_parts: list[np.ndarray] = []
+    rp_parts: list[np.ndarray] = []
+    left_cur = next(left_runs, None)
+    right_cur = next(right_runs, None)
+    while left_cur is not None and right_cur is not None:
+        l_skey, l_missing, l_rows = left_cur
+        r_skey, r_missing, r_rows = right_cur
+        if l_skey == r_skey:
+            # Equal sort keys imply Python-equal values componentwise (or
+            # missing on both sides, which never matches).
+            if not l_missing and not r_missing:
+                lp_parts.append(np.repeat(l_rows, len(r_rows)))
+                rp_parts.append(np.tile(r_rows, len(l_rows)))
+            left_cur = next(left_runs, None)
+            right_cur = next(right_runs, None)
+        elif l_skey < r_skey:
+            left_cur = next(left_runs, None)
+        else:
+            right_cur = next(right_runs, None)
+    # Drain both sides so sortedness violations in the unconsumed tail
+    # surface deterministically regardless of where the merge stopped.
+    for _ in left_runs:
+        pass
+    for _ in right_runs:
+        pass
+    if not lp_parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(lp_parts), np.concatenate(rp_parts)
+
+
+def is_sorted_on(frame: DataFrame, on: Sequence[str]) -> bool:
+    """True when the frame satisfies the merge-join sortedness contract."""
+    try:
+        for _ in _iter_key_runs(frame, list(on), "input"):
+            pass
+    except ValueError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Pair expansion (left/outer) and output assembly
+# ----------------------------------------------------------------------
+def _expand_pairs(
+    how: str, n_left: int, n_right: int, lp: np.ndarray, rp: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert matched pairs into aligned output row indices.
+
+    ``-1`` marks "no row on this side": left rows without a match keep
+    one output row with a missing right side (left/outer), and outer
+    appends unmatched right rows — ascending — after all left rows.
+    """
+    if how == "inner":
+        return lp, rp
+    if n_left == 0:
+        left_idx = np.zeros(0, dtype=np.int64)
+        right_idx = np.zeros(0, dtype=np.int64)
+    else:
+        counts = np.bincount(lp, minlength=n_left)
+        out_counts = np.maximum(counts, 1)
+        starts = np.concatenate(([0], np.cumsum(out_counts)[:-1]))
+        first_pair = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        left_idx = np.repeat(
+            np.arange(n_left, dtype=np.int64), out_counts
+        )
+        right_idx = np.full(int(out_counts.sum()), -1, dtype=np.int64)
+        if len(lp):
+            positions = starts[lp] + (
+                np.arange(len(lp), dtype=np.int64) - first_pair[lp]
+            )
+            right_idx[positions] = rp
+    if how == "outer":
+        matched_right = np.zeros(n_right, dtype=bool)
+        matched_right[rp] = True
+        right_only = np.flatnonzero(~matched_right).astype(np.int64)
+        left_idx = np.concatenate(
+            [left_idx, np.full(len(right_only), -1, dtype=np.int64)]
+        )
+        right_idx = np.concatenate([right_idx, right_only])
+    return left_idx, right_idx
+
+
+class _GatherPlan:
+    """One output row-index array shared by every gathered column.
+
+    Caches the stable argsort the spilled streaming path needs, so a
+    wide spilled side sorts its indices once, not once per column.
+    """
+
+    __slots__ = ("idx", "_order", "_sorted")
+
+    def __init__(self, idx: np.ndarray) -> None:
+        self.idx = np.asarray(idx, dtype=np.int64)
+        self._order: np.ndarray | None = None
+        self._sorted: np.ndarray | None = None
+
+    def order_and_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._order is None:
+            self._order = np.argsort(self.idx, kind="stable")
+            self._sorted = self.idx[self._order]
+        return self._order, self._sorted
+
+
+def _gather_arrays(
+    column: Column, plan: _GatherPlan
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather ``column`` at ``plan.idx`` (-1 = missing) into fresh arrays.
+
+    Unspilled columns take one fancy-index (the in-memory fast path);
+    spilled columns stream shard by shard through the store's LRU so the
+    input stays spilled. Missing output slots hold the canonical fill
+    value with the mask set — the standard storage invariant.
+    """
+    idx = plan.idx
+    n = len(idx)
+    dtype = column.dtype
+    fill = _types.FILL_VALUES[dtype]
+    out_missing = idx < 0
+    if not getattr(column, "spilled", False):
+        src = np.asarray(column.values_array())
+        src_mask = np.asarray(column.mask())
+        if len(src) == 0:
+            data = np.full(n, fill, dtype=_types.NUMPY_DTYPES[dtype])
+            return data, out_missing.copy()
+        safe = np.where(out_missing, 0, idx)
+        data = src[safe]
+        mask = src_mask[safe] | out_missing
+        if out_missing.any():
+            data[out_missing] = fill
+        return data, mask
+    data = np.full(n, fill, dtype=_types.NUMPY_DTYPES[dtype])
+    mask = out_missing.copy()
+    order, sorted_idx = plan.order_and_sorted()
+    lo = int(np.searchsorted(sorted_idx, 0))
+    start = 0
+    for chunk in column.iter_chunks():
+        end = start + len(chunk)
+        hi = int(np.searchsorted(sorted_idx, end))
+        if hi > lo:
+            positions = order[lo:hi]
+            local = idx[positions] - start
+            vals = chunk.values_array()[local]
+            if vals.dtype != data.dtype:
+                # An int column can mix int64 and object shards; the
+                # gathered array normalizes to object-backed Python ints
+                # exactly like the dense concatenation does.
+                if data.dtype != object:
+                    data = data.astype(object)
+                vals = vals.astype(object)
+            data[positions] = vals
+            mask[positions] = chunk.mask()[local]
+        lo = hi
+        start = end
+    return data, mask
+
+
+def _gather_column(
+    column: Column, plan: _GatherPlan, out_name: str
+) -> Column:
+    data, mask = _gather_arrays(column, plan)
+    return Column._from_arrays(out_name, column.dtype, data, mask)
+
+
+def _merged_key_column(
+    name: str,
+    left_col: Column,
+    right_col: Column,
+    left_plan: _GatherPlan,
+    right_plan: _GatherPlan,
+) -> Column:
+    """Outer-join key column: left value when present, else right.
+
+    Same-dtype sides splice the gathered arrays directly (coercion to
+    the common dtype is the identity); mixed dtypes go through the
+    :class:`Column` constructor so every cell is coerced exactly like a
+    reference frame built with ``from_dict(..., dtypes=...)``.
+    """
+    out_dtype = _types.common_dtype(left_col.dtype, right_col.dtype)
+    left_data, left_mask = _gather_arrays(left_col, left_plan)
+    right_data, right_mask = _gather_arrays(right_col, right_plan)
+    take_right = left_plan.idx < 0
+    if left_col.dtype == right_col.dtype:
+        if left_data.dtype != right_data.dtype:
+            left_data = left_data.astype(object)
+            right_data = right_data.astype(object)
+        left_data[take_right] = right_data[take_right]
+        left_mask[take_right] = right_mask[take_right]
+        return Column._from_arrays(name, out_dtype, left_data, left_mask)
+    left_values = left_data.tolist()
+    right_values = right_data.tolist()
+    values = [
+        (None if r_missing else r_value)
+        if from_right
+        else (None if l_missing else l_value)
+        for from_right, l_value, l_missing, r_value, r_missing in zip(
+            take_right.tolist(),
+            left_values,
+            left_mask.tolist(),
+            right_values,
+            right_mask.tolist(),
+        )
+    ]
+    return Column(name, values, out_dtype)
+
+
+def _assemble(
+    left: DataFrame,
+    right: DataFrame,
+    key_names: Sequence[str],
+    suffix: str,
+    how: str,
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+) -> DataFrame:
+    left_names = left.column_names
+    right_extra = [
+        name for name in right.column_names if name not in key_names
+    ]
+    renamed = {
+        name: (name + suffix if name in left_names else name)
+        for name in right_extra
+    }
+    if len(set(renamed.values())) != len(renamed):
+        raise ValueError(
+            f"suffix {suffix!r} produces colliding output column names "
+            f"among right columns {right_extra}"
+        )
+    left_plan = _GatherPlan(left_idx)
+    right_plan = _GatherPlan(right_idx)
+    columns: list[Column] = []
+    for name in left_names:
+        if how == "outer" and name in key_names:
+            columns.append(
+                _merged_key_column(
+                    name,
+                    left.column(name),
+                    right.column(name),
+                    left_plan,
+                    right_plan,
+                )
+            )
+        else:
+            columns.append(_gather_column(left.column(name), left_plan, name))
+    for name in right_extra:
+        columns.append(
+            _gather_column(right.column(name), right_plan, renamed[name])
+        )
+    return DataFrame(columns)
+
+
+# ----------------------------------------------------------------------
+# Public join API
+# ----------------------------------------------------------------------
+def join(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+    strategy: str | None = None,
+    n_partitions: int | None = None,
+    spill: SpillStore | None = None,
+) -> DataFrame:
+    """Equality join with a pluggable physical strategy.
+
+    See the module docstring for the strategy, null, and sortedness
+    contracts. ``spill`` routes partition buckets through an explicit
+    store; by default buckets spill only when an input is already
+    spilled (through that input's own store).
+    """
+    key_names = list(on)
+    if how not in _JOIN_HOWS:
+        raise ValueError(
+            f"unknown join type {how!r}; expected one of {list(_JOIN_HOWS)}"
+        )
+    for name in key_names:
+        left.column(name)
+        right.column(name)
+    resolved = resolve_join_strategy(strategy, left, right)
+    if resolved == "memory":
+        lp, rp = _join_pairs_memory(left, right, key_names)
+    elif resolved == "partitioned":
+        store = (
+            spill
+            if spill is not None
+            else (spill_store_of(left) or spill_store_of(right))
+        )
+        parts = resolve_join_partitions(n_partitions, left, right, store)
+        lp, rp = _join_pairs_partitioned(left, right, key_names, parts, store)
+    else:
+        lp, rp = _join_pairs_merge(left, right, key_names)
+    left_idx, right_idx = _expand_pairs(
+        how, left.num_rows, right.num_rows, lp, rp
+    )
+    return _assemble(left, right, key_names, suffix, how, left_idx, right_idx)
+
+
+def left_join(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    suffix: str = "_right",
+    strategy: str | None = None,
+    n_partitions: int | None = None,
+) -> DataFrame:
+    """Keep every left row; unmatched rows get missing right cells."""
+    return join(
+        left,
+        right,
+        on,
+        how="left",
+        suffix=suffix,
+        strategy=strategy,
+        n_partitions=n_partitions,
+    )
+
+
+def outer_join(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    suffix: str = "_right",
+    strategy: str | None = None,
+    n_partitions: int | None = None,
+) -> DataFrame:
+    """Full outer join; unmatched right rows follow all left rows."""
+    return join(
+        left,
+        right,
+        on,
+        how="outer",
+        suffix=suffix,
+        strategy=strategy,
+        n_partitions=n_partitions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Semi-join membership (referential-integrity consumer)
+# ----------------------------------------------------------------------
+def _membership(
+    left_cols: Sequence[Column],
+    right_cols: Sequence[Column],
+    n_left: int,
+    n_right: int,
+) -> np.ndarray:
+    """Boolean per left row: does any right row share its (valid) key?"""
+    left_codes = np.zeros(n_left, dtype=np.int64)
+    right_codes = np.zeros(n_right, dtype=np.int64)
+    span = 1
+    left_missing = np.zeros(n_left, dtype=bool)
+    right_missing = np.zeros(n_right, dtype=bool)
+    for l_col, r_col in zip(left_cols, right_cols):
+        extra_left, extra_right, extra_span = _joint_codes(l_col, r_col)
+        left_codes, right_codes, span = _combine_codes(
+            left_codes, right_codes, span, extra_left, extra_right, extra_span
+        )
+        left_missing |= np.asarray(l_col.mask())
+        right_missing |= np.asarray(r_col.mask())
+    out = np.zeros(n_left, dtype=bool)
+    unique_right = np.unique(right_codes[~right_missing])
+    left_rows = np.flatnonzero(~left_missing)
+    probe = left_codes[left_rows]
+    if unique_right.size and probe.size:
+        slot = np.searchsorted(unique_right, probe)
+        slot_clipped = np.minimum(slot, len(unique_right) - 1)
+        hit = (slot < len(unique_right)) & (
+            unique_right[slot_clipped] == probe
+        )
+        out[left_rows[hit]] = True
+    return out
+
+
+def semi_join_mask(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    right_on: Sequence[str] | None = None,
+    strategy: str | None = None,
+    n_partitions: int | None = None,
+) -> np.ndarray:
+    """Per left row, True when its key exists among the right rows.
+
+    Rows with a missing key cell are False (they match nothing). The
+    key columns pair positionally with ``right_on`` (default: the same
+    names). ``merge`` falls back to ``memory`` — membership needs no
+    sorted output.
+    """
+    left_names = list(on)
+    right_names = list(right_on) if right_on is not None else left_names
+    if len(left_names) != len(right_names):
+        raise ValueError(
+            f"on has {len(left_names)} columns but right_on has "
+            f"{len(right_names)}"
+        )
+    for l_name, r_name in zip(left_names, right_names):
+        left.column(l_name)
+        right.column(r_name)
+    resolved = resolve_join_strategy(strategy, left, right)
+    if resolved != "partitioned":
+        return _membership(
+            [left.column(name) for name in left_names],
+            [right.column(name) for name in right_names],
+            left.num_rows,
+            right.num_rows,
+        )
+    store = spill_store_of(left) or spill_store_of(right)
+    parts = resolve_join_partitions(n_partitions, left, right, store)
+    l_dtypes = [left.column(name).dtype for name in left_names]
+    r_dtypes = [right.column(name).dtype for name in right_names]
+    l_buckets = _partition_side(left, left_names, parts, store)
+    r_buckets = _partition_side(right, right_names, parts, store)
+    out = np.zeros(left.num_rows, dtype=bool)
+    for p in range(parts):
+        if not l_buckets[p] or not r_buckets[p]:
+            _release_contribs(l_buckets[p], store)
+            _release_contribs(r_buckets[p], store)
+            continue
+        l_rows, l_cols, l_handles = _load_bucket(
+            l_buckets[p], left_names, l_dtypes, store
+        )
+        r_rows, r_cols, r_handles = _load_bucket(
+            r_buckets[p], right_names, r_dtypes, store
+        )
+        member = _membership(l_cols, r_cols, len(l_rows), len(r_rows))
+        out[l_rows[member]] = True
+        if store is not None:
+            for handle in l_handles + r_handles:
+                store.release(handle)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Chunk-native grouped aggregation
+# ----------------------------------------------------------------------
+class _ListState:
+    """Fallback state: per-group Python value lists, callback at the end.
+
+    Byte-for-byte the monolithic fallback — values accumulate in global
+    row order, the callback runs per group in first-occurrence order at
+    finalize (so a raising callback, e.g. ``sum`` over strings, raises
+    at exactly the group the monolithic path raises at).
+    """
+
+    def __init__(self, callback: Callable[[list[Any]], Any]) -> None:
+        self.callback = callback
+        self.lists: list[list[Any]] = []
+
+    def _grow(self, n_total: int) -> None:
+        while len(self.lists) < n_total:
+            self.lists.append([])
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        self._grow(n_total)
+        values = column.values()
+        for i, gid in enumerate(row_gid.tolist()):
+            value = values[i]
+            if value is not None:
+                self.lists[gid].append(value)
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        self._grow(n_groups)
+        return [
+            self.callback(values) if values else None
+            for values in self.lists[:n_groups]
+        ]
+
+
+class _CountState:
+    def __init__(self) -> None:
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def _grow(self, n_total: int) -> None:
+        if len(self.counts) < n_total:
+            grown = np.zeros(n_total, dtype=np.int64)
+            grown[: len(self.counts)] = self.counts
+            self.counts = grown
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        self._grow(n_total)
+        valid = ~np.asarray(column.mask())
+        self.counts[:n_total] += np.bincount(
+            row_gid[valid], minlength=n_total
+        )
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        self._grow(n_groups)
+        return [
+            int(count) if count else None
+            for count in self.counts[:n_groups].tolist()
+        ]
+
+
+class _FirstState:
+    def __init__(self) -> None:
+        self.values: dict[int, Any] = {}
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        valid_rows = np.flatnonzero(~np.asarray(column.mask()))
+        if not len(valid_rows):
+            return
+        gids = row_gid[valid_rows]
+        unique_gids, first_index = np.unique(gids, return_index=True)
+        for gid, index in zip(unique_gids.tolist(), first_index.tolist()):
+            if gid not in self.values:
+                self.values[gid] = column[int(valid_rows[index])]
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        return [self.values.get(g) for g in range(n_groups)]
+
+
+class _FloatSumState:
+    """Carry-bincount float sums — bit-identical to the monolithic fold.
+
+    Each chunk's ``bincount`` re-adds the running per-group sums as
+    leading carry weights: carries precede the chunk's elements per bin,
+    and ``0.0 + carry == carry`` bitwise because a fold that starts at
+    ``+0.0`` can never produce ``-0.0`` — so the addition sequence per
+    group equals the monolithic left-to-right fold exactly.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.running = np.zeros(0, dtype=np.float64)
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def _grow(self, n_total: int) -> None:
+        if len(self.counts) < n_total:
+            grown = np.zeros(n_total, dtype=np.int64)
+            grown[: len(self.counts)] = self.counts
+            self.counts = grown
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        self._grow(n_total)
+        valid = ~np.asarray(column.mask())
+        gids = row_gid[valid]
+        self.counts[:n_total] += np.bincount(gids, minlength=n_total)
+        values = np.asarray(column.values_array())[valid].astype(
+            np.float64, copy=False
+        )
+        carry_ids = np.arange(len(self.running), dtype=np.int64)
+        self.running = np.bincount(
+            np.concatenate([carry_ids, gids]),
+            weights=np.concatenate([self.running, values]),
+            minlength=n_total,
+        )
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        self._grow(n_groups)
+        sums = self.running.tolist() + [0.0] * (
+            n_groups - len(self.running)
+        )
+        counts = self.counts[:n_groups].tolist()
+        if self.kind == "sum":
+            return [
+                sums[g] if counts[g] else None for g in range(n_groups)
+            ]
+        return [
+            sums[g] / counts[g] if counts[g] else None
+            for g in range(n_groups)
+        ]
+
+
+class _IntSumState:
+    """Exact int/bool sums merged as arbitrary-precision Python ints.
+
+    Per-chunk int64 accumulation is exact whenever the chunk's true
+    per-group totals fit (intermediate wraparound is modular and
+    self-correcting); a float shadow sum flags chunks that might not,
+    which then fold in pure Python. Cross-chunk merge is Python-int
+    addition, so the final totals equal the monolithic exact sums for
+    any magnitude.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.totals: list[int] = []
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def _grow(self, n_total: int) -> None:
+        while len(self.totals) < n_total:
+            self.totals.append(0)
+        if len(self.counts) < n_total:
+            grown = np.zeros(n_total, dtype=np.int64)
+            grown[: len(self.counts)] = self.counts
+            self.counts = grown
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        self._grow(n_total)
+        valid = ~np.asarray(column.mask())
+        gids = row_gid[valid]
+        chunk_counts = np.bincount(gids, minlength=n_total)
+        self.counts[:n_total] += chunk_counts
+        values = np.asarray(column.values_array())[valid]
+        if not len(values):
+            return
+        if values.dtype == np.bool_:
+            values = values.astype(np.int64)
+        if values.dtype == object:
+            for gid, value in zip(gids.tolist(), values.tolist()):
+                self.totals[gid] += value
+            return
+        shadow = np.bincount(
+            gids, weights=values.astype(np.float64), minlength=1
+        )
+        if shadow.size and np.abs(shadow).max() > float(2**62):
+            for gid, value in zip(gids.tolist(), values.tolist()):
+                self.totals[gid] += value
+            return
+        sums = np.zeros(n_total, dtype=np.int64)
+        np.add.at(sums, gids, values)
+        for gid in np.flatnonzero(chunk_counts).tolist():
+            self.totals[gid] += int(sums[gid])
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        self._grow(n_groups)
+        counts = self.counts[:n_groups].tolist()
+        if self.kind == "sum":
+            return [
+                self.totals[g] if counts[g] else None
+                for g in range(n_groups)
+            ]
+        return [
+            self.totals[g] / counts[g] if counts[g] else None
+            for g in range(n_groups)
+        ]
+
+
+class _MinMaxState:
+    """Per-chunk ``reduceat`` extrema merged with Python min/max.
+
+    Merging keeps the earlier chunk's value on ties, matching the
+    global left-to-right reduction; result types follow the column
+    dtype exactly like the monolithic ``_python_scalar`` cast.
+    """
+
+    def __init__(self, kind: str, dtype: str) -> None:
+        self.kind = kind
+        self.dtype = dtype
+        self.pick = min if kind == "min" else max
+        self.best: dict[int, Any] = {}
+
+    def _merge(self, gid: int, value: Any) -> None:
+        if gid in self.best:
+            self.best[gid] = self.pick(self.best[gid], value)
+        else:
+            self.best[gid] = value
+
+    def update(
+        self, column: Column, row_gid: np.ndarray, n_total: int
+    ) -> None:
+        valid = ~np.asarray(column.mask())
+        if not valid.any():
+            return
+        gids = row_gid[valid]
+        values = np.asarray(column.values_array())[valid]
+        if values.dtype == object:
+            for gid, value in zip(gids.tolist(), values.tolist()):
+                self._merge(gid, value)
+            return
+        if values.dtype == np.bool_:
+            values = values.astype(np.int64)
+        order = np.argsort(gids, kind="stable")
+        sorted_values = values[order]
+        sorted_gids = gids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_gids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ufunc = np.minimum if self.kind == "min" else np.maximum
+        reduced = ufunc.reduceat(sorted_values, starts)
+        for gid, value in zip(
+            sorted_gids[starts].tolist(), reduced.tolist()
+        ):
+            self._merge(gid, value)
+
+    def finalize(self, n_groups: int) -> list[Any]:
+        results: list[Any] = []
+        for g in range(n_groups):
+            if g in self.best:
+                value = self.best[g]
+                if self.dtype == _types.BOOL:
+                    value = bool(value)
+                results.append(value)
+            else:
+                results.append(None)
+        return results
+
+
+def _make_state(dtype: str, kind: str | None, callback: Callable | None):
+    if kind is None:
+        return _ListState(callback)
+    if kind == "count":
+        return _CountState()
+    if kind == "first":
+        return _FirstState()
+    if dtype in (_types.INT, _types.FLOAT, _types.BOOL):
+        if kind in ("sum", "mean"):
+            if dtype == _types.FLOAT:
+                return _FloatSumState(kind)
+            return _IntSumState(kind)
+        return _MinMaxState(kind, dtype)
+    return _ListState(callback)
+
+
+def grouped_aggregate(
+    frame: DataFrame,
+    columns: Sequence[str],
+    aggregations: Mapping[str, tuple[str, Any]],
+) -> DataFrame:
+    """Chunk-native ``group_by``: per-chunk partials with exact merge.
+
+    Bit-identical to :func:`repro.dataframe.ops.group_by` on the same
+    rows — same group order (global first occurrence), same value
+    types, same exceptions in the same order — but streams a
+    :class:`ChunkedFrame` chunk by chunk without densifying any column,
+    so spilled inputs stay spilled.
+    """
+    names = list(columns)
+    out: dict[str, list[Any]] = {name: [] for name in names}
+    out.update({name: [] for name in aggregations})
+    if frame.num_rows == 0:
+        for name in names:
+            frame.column(name)
+        for _, (in_name, func) in aggregations.items():
+            frame.column(in_name)
+            _resolve_aggregator(func)
+        return DataFrame.from_dict(out)
+    for name in names:
+        frame.column(name)
+    specs: list[tuple[str, str, Any, Any]] = []
+    for out_name, (in_name, func) in aggregations.items():
+        try:
+            column = frame.column(in_name)
+            kind, callback = _resolve_aggregator(func)
+        except (KeyError, ValueError):
+            # Deferred: re-raised in spec order at finalize, matching
+            # the monolithic path's exception order.
+            specs.append((out_name, in_name, func, None))
+            continue
+        specs.append(
+            (out_name, in_name, func, _make_state(column.dtype, kind, callback))
+        )
+    registry: dict[tuple, int] = {}
+    key_values: list[tuple] = []
+    for chunk in frame.iter_chunks():
+        n = chunk.num_rows
+        if n == 0:
+            continue
+        order, starts, ends, appearance, first_rows = _group_layout(
+            chunk, names
+        )
+        key_cols = [chunk.column(name) for name in names]
+        n_local = len(starts)
+        gid_of_local = np.empty(n_local, dtype=np.int64)
+        first_list = first_rows.tolist()
+        for g in appearance.tolist():
+            raw = tuple(col[first_list[g]] for col in key_cols)
+            key = tuple(
+                _MISSING_KEY if value is None else value for value in raw
+            )
+            gid = registry.get(key)
+            if gid is None:
+                gid = len(registry)
+                registry[key] = gid
+                key_values.append(raw)
+            gid_of_local[g] = gid
+        lengths = ends - starts
+        row_local = np.empty(n, dtype=np.int64)
+        row_local[order] = np.repeat(
+            np.arange(n_local, dtype=np.int64), lengths
+        )
+        row_gid = gid_of_local[row_local]
+        n_total = len(registry)
+        for _, in_name, _, state in specs:
+            if state is not None:
+                state.update(chunk.column(in_name), row_gid, n_total)
+    n_groups = len(registry)
+    for i, name in enumerate(names):
+        out[name] = [key_values[g][i] for g in range(n_groups)]
+    for out_name, in_name, func, state in specs:
+        frame.column(in_name)
+        kind, callback = _resolve_aggregator(func)
+        out[out_name] = state.finalize(n_groups)
+    return DataFrame.from_dict(out)

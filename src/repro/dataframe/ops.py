@@ -393,6 +393,17 @@ def group_by(
     ``"first"``. Groups appear in first-occurrence order; all-missing
     groups aggregate to ``None``.
     """
+    from .chunked import ChunkedFrame
+
+    if isinstance(frame, ChunkedFrame):
+        from .spill import spill_store_of
+
+        if frame.n_chunks > 1 or spill_store_of(frame) is not None:
+            # Chunk-native pushdown: per-chunk partials with exact merge
+            # (bit-identical contract documented in repro.dataframe.joins).
+            from .joins import grouped_aggregate
+
+            return grouped_aggregate(frame, columns, aggregations)
     names = list(columns)
     out: dict[str, list[Any]] = {name: [] for name in names}
     out.update({name: [] for name in aggregations})
@@ -506,78 +517,16 @@ def inner_join(
     appended. Rows whose key contains a missing cell never match. The
     output keeps left row order (then right row order within a key) and
     preserves the input column dtypes.
+
+    The physical execution lives in :mod:`repro.dataframe.joins`: the
+    planner there picks the in-memory joint-codes probe, a partitioned
+    hash join (bucketing shards by key hash, spilling buckets when the
+    inputs are spilled), or a sorted-merge join, all bit-identical;
+    ``DATALENS_JOIN_STRATEGY`` overrides the choice.
     """
-    key_names = list(on)
-    left_codes = np.zeros(left.num_rows, dtype=np.int64)
-    right_codes = np.zeros(right.num_rows, dtype=np.int64)
-    span = 1
-    left_missing = np.zeros(left.num_rows, dtype=bool)
-    for name in key_names:
-        l_col, r_col = left.column(name), right.column(name)
-        extra_left, extra_right, extra_span = _joint_codes(l_col, r_col)
-        left_codes, right_codes, span = _combine_codes(
-            left_codes, right_codes, span, extra_left, extra_right, extra_span
-        )
-        left_missing |= l_col.mask()
+    from .joins import join
 
-    # Right side: drop missing-key rows, sort by code once.
-    right_valid = np.ones(right.num_rows, dtype=bool)
-    for name in key_names:
-        right_valid &= ~right.column(name).mask()
-    right_rows_valid = np.flatnonzero(right_valid)
-    right_order = right_rows_valid[
-        np.argsort(right_codes[right_rows_valid], kind="stable")
-    ]
-    sorted_right = right_codes[right_order]
-    unique_right, unique_starts = np.unique(sorted_right, return_index=True)
-    unique_counts = np.diff(np.concatenate((unique_starts, [len(sorted_right)])))
-
-    # Probe: one searchsorted for every (valid) left row.
-    left_rows_valid = np.flatnonzero(~left_missing)
-    probe = left_codes[left_rows_valid]
-    slot = np.searchsorted(unique_right, probe)
-    slot_clipped = np.minimum(slot, max(len(unique_right) - 1, 0))
-    matched = (
-        (slot < len(unique_right)) & (unique_right[slot_clipped] == probe)
-        if len(unique_right)
-        else np.zeros(len(probe), dtype=bool)
-    )
-    match_rows = left_rows_valid[matched]
-    match_slots = slot[matched]
-    match_counts = unique_counts[match_slots]
-
-    # Expand matches: each left row repeats once per matching right row,
-    # gathering the right rows from the sorted-run slices.
-    left_take = np.repeat(match_rows, match_counts)
-    run_starts = unique_starts[match_slots]
-    cumulative = np.cumsum(match_counts)
-    offsets = (
-        np.arange(int(cumulative[-1]), dtype=np.int64)
-        - np.repeat(cumulative - match_counts, match_counts)
-        if len(match_counts)
-        else np.zeros(0, dtype=np.int64)
-    )
-    right_take = right_order[np.repeat(run_starts, match_counts) + offsets]
-
-    left_names = left.column_names
-    right_extra = [name for name in right.column_names if name not in key_names]
-    renamed = {
-        name: (name + suffix if name in left_names else name)
-        for name in right_extra
-    }
-    if len(set(renamed.values())) != len(renamed):
-        raise ValueError(
-            f"suffix {suffix!r} produces colliding output column names "
-            f"among right columns {right_extra}"
-        )
-    joined_left = left.take(left_take)
-    joined_right = right.take(right_take)
-    columns: dict[str, Column] = {
-        name: joined_left.column(name) for name in left_names
-    }
-    for name in right_extra:
-        columns[renamed[name]] = joined_right.column(name).rename(renamed[name])
-    return DataFrame(columns.values())
+    return join(left, right, on, how="inner", suffix=suffix)
 
 
 def value_counts_frame(frame: DataFrame, column: str) -> DataFrame:

@@ -17,6 +17,7 @@ from .mvdetector import MVDetector
 from .nadeef import NADEEFDetector
 from .outliers import IQRDetector, SDDetector
 from .raha import RAHADetector, featurize_column
+from .referential import ReferentialIntegrityDetector
 
 __all__ = [
     "CooccurrenceModel",
@@ -34,6 +35,7 @@ __all__ = [
     "MinKEnsemble",
     "NADEEFDetector",
     "RAHADetector",
+    "ReferentialIntegrityDetector",
     "SDDetector",
     "UnionEnsemble",
     "default_knowledge_base",

@@ -22,9 +22,12 @@ import pytest
 from repro.dataframe import (
     Column,
     DataFrame,
+    common_dtype,
     group_by,
     group_indices,
     inner_join,
+    left_join,
+    outer_join,
     sort_by,
     value_counts_frame,
 )
@@ -124,6 +127,79 @@ def reference_inner_join(left, right, on, suffix="_right"):
     for c in right_extra:
         columns[renamed[c]] = right_taken.column(c).rename(renamed[c])
     return DataFrame(columns.values())
+
+
+def _reference_outer_columns(left, right, on, suffix):
+    """Shared output-schema computation for the left/outer references."""
+    left_names = left.column_names
+    right_extra = [c for c in right.column_names if c not in on]
+    renamed = {c: (c + suffix if c in left_names else c) for c in right_extra}
+    if len(set(renamed.values())) != len(renamed):
+        raise ValueError(
+            f"suffix {suffix!r} produces colliding output column names "
+            f"among right columns {right_extra}"
+        )
+    return left_names, right_extra, renamed
+
+
+def reference_left_join(left, right, on, suffix="_right"):
+    """Row-at-a-time left join: unmatched left rows appear once, right
+    extras None. Same match semantics and ordering as the inner join."""
+    right_groups = reference_group_indices(right, on)
+    left_names, right_extra, renamed = _reference_outer_columns(
+        left, right, on, suffix
+    )
+    out = {c: [] for c in left_names}
+    out.update({renamed[c]: [] for c in right_extra})
+    dtypes = {c: left.column(c).dtype for c in left_names}
+    dtypes.update({renamed[c]: right.column(c).dtype for c in right_extra})
+    for i in range(left.num_rows):
+        key = tuple(
+            _MISSING_KEY if left.at(i, c) is None else left.at(i, c) for c in on
+        )
+        matches = [] if _MISSING_KEY in key else right_groups.get(key, [])
+        for j in matches or [None]:
+            for c in left_names:
+                out[c].append(left.at(i, c))
+            for c in right_extra:
+                out[renamed[c]].append(None if j is None else right.at(j, c))
+    return DataFrame.from_dict(out, dtypes=dtypes)
+
+
+def reference_outer_join(left, right, on, suffix="_right"):
+    """Row-at-a-time full outer join: the left join plus a tail of
+    unmatched right rows (in right row order), with key columns merged
+    to the common dtype and non-key left columns None on the tail."""
+    right_groups = reference_group_indices(right, on)
+    left_names, right_extra, renamed = _reference_outer_columns(
+        left, right, on, suffix
+    )
+    out = {c: [] for c in left_names}
+    out.update({renamed[c]: [] for c in right_extra})
+    dtypes = {c: left.column(c).dtype for c in left_names}
+    dtypes.update({renamed[c]: right.column(c).dtype for c in right_extra})
+    for c in on:
+        dtypes[c] = common_dtype(left.column(c).dtype, right.column(c).dtype)
+    matched_right = set()
+    for i in range(left.num_rows):
+        key = tuple(
+            _MISSING_KEY if left.at(i, c) is None else left.at(i, c) for c in on
+        )
+        matches = [] if _MISSING_KEY in key else right_groups.get(key, [])
+        matched_right.update(matches)
+        for j in matches or [None]:
+            for c in left_names:
+                out[c].append(left.at(i, c))
+            for c in right_extra:
+                out[renamed[c]].append(None if j is None else right.at(j, c))
+    for j in range(right.num_rows):
+        if j in matched_right:
+            continue
+        for c in left_names:
+            out[c].append(right.at(j, c) if c in on else None)
+        for c in right_extra:
+            out[renamed[c]].append(right.at(j, c))
+    return DataFrame.from_dict(out, dtypes=dtypes)
 
 
 def reference_value_counts(frame, column):
@@ -266,6 +342,43 @@ class TestJoinEquivalence(_GeneratorBound):
                 inner_join(left, right, on=keys),
                 reference_inner_join(left, right, on=keys),
             )
+
+    def test_left_join_matches_reference(self, seed):
+        left, right = self._pair(seed)
+        for keys in (["i"], ["s"], ["big"], ["i", "s"], ["s", "f"]):
+            _assert_frames_identical(
+                left_join(left, right, on=keys),
+                reference_left_join(left, right, on=keys),
+            )
+
+    def test_outer_join_matches_reference(self, seed):
+        left, right = self._pair(seed)
+        for keys in (["i"], ["s"], ["big"], ["i", "s"], ["s", "f"]):
+            _assert_frames_identical(
+                outer_join(left, right, on=keys),
+                reference_outer_join(left, right, on=keys),
+            )
+
+    def test_outer_join_merges_cross_dtype_keys(self, seed):
+        """Outer keys widen to the common dtype (int ∪ float → float)."""
+        rng = np.random.default_rng(seed + 2000)
+        left = DataFrame.from_dict(
+            {
+                "k": self._random_values(rng, "int", 25, 0.2),
+                "v": self._random_values(rng, "string", 25, 0.2),
+            }
+        )
+        right = DataFrame.from_dict(
+            {
+                "k": self._random_values(rng, "float", 18, 0.2),
+                "w": self._random_values(rng, "int", 18, 0.2),
+            }
+        )
+        joined = outer_join(left, right, on=["k"])
+        assert joined.column("k").dtype == "float"
+        _assert_frames_identical(
+            joined, reference_outer_join(left, right, on=["k"])
+        )
 
     def test_join_with_empty_sides(self, seed):
         left, right = self._pair(seed, n_left=0, n_right=10)

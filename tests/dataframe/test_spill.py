@@ -288,6 +288,30 @@ class TestSpilledColumnLifecycle:
         spilled = spill_frame(frame, chunk_size=4, budget_bytes=512)
         assert profile(spilled).to_dict() == profile(frame).to_dict()
 
+    def test_profile_then_quality_leaves_columns_spilled(self):
+        """The PR-6 follow-on: quality scoring must stay out-of-core.
+
+        ``validity`` used to densify numeric columns through
+        ``values_array()`` (releasing the spill); it now streams
+        per-shard compressed payloads. Counter-asserted: all loads go
+        through the LRU (peak resident ≤ budget) and every column still
+        reports ``spilled`` after profile → quality_summary.
+        """
+        from repro.core.quality import quality_summary
+        from repro.profiling import profile
+
+        frame = _frame(80)
+        store = SpillStore(budget_bytes=512)
+        spilled = spill_frame(frame, store=store, chunk_size=7)
+        profile(spilled)
+        metrics = quality_summary(spilled)
+        assert metrics == quality_summary(frame)
+        for name in spilled.column_names:
+            assert spilled.column(name).spilled, name
+        stats = store.stats()
+        assert stats["peak_resident_bytes"] <= 512
+        assert stats["loads"] > 0  # shards were read, not densified
+
 
 # ----------------------------------------------------------------------
 # Configuration plumbing: reader, loader, controller, REST, CLI
