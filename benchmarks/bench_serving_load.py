@@ -1,0 +1,189 @@
+"""Serving-layer load benchmark: latency/throughput under concurrency.
+
+Boots the real asyncio HTTP server (socket and all) over a workspace
+with the dirty NASA dataset, then drives it with N concurrent keep-alive
+clients issuing a mixed read/poll workload plus a detection POST. The
+table reports p50/p99 latency and aggregate throughput; the run fails on
+any 5xx or timeout — the acceptance gate for the async rebuild.
+
+A second leg submits a long-running profile job via ``?async=1`` and
+shows fast requests completing while the job is answerable (and finally
+``done``) through ``GET /jobs/{id}``.
+
+``DATALENS_BENCH_CLIENTS`` overrides the client count (default 8).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+from repro.api import TestClient, create_app, serve
+from repro.core import DataLens
+
+from conftest import print_table
+
+CLIENTS = int(os.environ.get("DATALENS_BENCH_CLIENTS", "8"))
+REQUESTS_PER_CLIENT = 24
+#: Read-mostly mix, matching a dashboard polling while users browse.
+READ_PATHS = (
+    "/health",
+    "/datasets/nasa",
+    "/datasets/nasa/quality",
+    "/datasets/nasa/detections",
+    "/datasets/nasa/versions",
+)
+
+
+def _boot(tmp_path, nasa_bundle):
+    lens = DataLens(tmp_path / "workspace", seed=0)
+    lens.ingest_frame("nasa", nasa_bundle.dirty)
+    router = create_app(lens)
+    # Seed one detection so /detections has content and repair-ish
+    # endpoints are exercised realistically.
+    seeded = TestClient(router).post(
+        "/datasets/nasa/detect", {"tools": ["mv_detector", "iqr"]}
+    )
+    assert seeded.status == 200
+    server = serve(router, port=0)
+    return router, server
+
+
+def _client_worker(port: int, client_id: int, out: list, failures: list):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        for i in range(REQUESTS_PER_CLIENT):
+            if i == REQUESTS_PER_CLIENT // 2 and client_id == 0:
+                # One writer in the fleet: a sync detection POST that
+                # serializes against the reads via the dataset lock.
+                method, path, body = (
+                    "POST",
+                    "/datasets/nasa/detect",
+                    json.dumps({"tools": ["mv_detector"]}),
+                )
+            else:
+                method, path, body = (
+                    "GET",
+                    READ_PATHS[(client_id + i) % len(READ_PATHS)],
+                    None,
+                )
+            start = time.perf_counter()
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            response.read()
+            elapsed = time.perf_counter() - start
+            out.append(elapsed)
+            if response.status >= 500:
+                failures.append((method, path, response.status))
+    except Exception as error:  # noqa: BLE001 — a dead socket is a failure
+        failures.append(("CONN", f"client {client_id}", repr(error)))
+    finally:
+        conn.close()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_serving_load(benchmark, tmp_path, nasa_bundle):
+    router, server = _boot(tmp_path, nasa_bundle)
+    port = server.server_address[1]
+    try:
+
+        def run():
+            latencies: list[float] = []
+            failures: list = []
+            lock = threading.Lock()
+
+            def worker(client_id: int):
+                mine: list[float] = []
+                _client_worker(port, client_id, mine, failures)
+                with lock:
+                    latencies.extend(mine)
+
+            threads = [
+                threading.Thread(target=worker, args=(client_id,))
+                for client_id in range(CLIENTS)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            wall = time.perf_counter() - start
+            return latencies, failures, wall
+
+        latencies, failures, wall = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        assert failures == [], f"5xx/timeouts under load: {failures[:5]}"
+        expected = CLIENTS * REQUESTS_PER_CLIENT
+        assert len(latencies) == expected
+        print_table(
+            f"Serving load — {CLIENTS} concurrent keep-alive clients",
+            ["clients", "requests", "p50 (ms)", "p99 (ms)", "rps", "5xx"],
+            [
+                [
+                    CLIENTS,
+                    len(latencies),
+                    round(_percentile(latencies, 0.50) * 1e3, 2),
+                    round(_percentile(latencies, 0.99) * 1e3, 2),
+                    round(len(latencies) / wall, 1),
+                    0,
+                ]
+            ],
+        )
+    finally:
+        server.shutdown()
+        router.job_queue.shutdown()
+
+
+def test_async_job_poll_while_serving(tmp_path, nasa_bundle):
+    """A long profile job stays answerable while fast requests complete."""
+    router, server = _boot(tmp_path, nasa_bundle)
+    port = server.server_address[1]
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        conn.request("GET", "/datasets/nasa/profile?async=1")
+        response = conn.getresponse()
+        submitted = json.loads(response.read())
+        assert response.status == 202, submitted
+        job_id = submitted["job_id"]
+
+        fast_during_job = 0
+        statuses_seen = set()
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            conn.request("GET", f"/jobs/{job_id}")
+            job = json.loads(conn.getresponse().read())
+            statuses_seen.add(job["status"])
+            if job["status"] in ("done", "failed"):
+                break
+            # Fast request interleaved with every poll.
+            conn.request("GET", "/datasets/nasa")
+            fast = conn.getresponse()
+            fast.read()
+            assert fast.status == 200
+            fast_during_job += 1
+        conn.close()
+
+        assert job["status"] == "done", job.get("error")
+        assert job["result"]["overview"]["rows"] == 1503
+        print_table(
+            "Async profile job polled over HTTP",
+            ["job states seen", "fast 200s during job", "final status"],
+            [[",".join(sorted(statuses_seen)), fast_during_job, job["status"]]],
+        )
+    finally:
+        server.shutdown()
+        router.job_queue.shutdown()

@@ -1,16 +1,44 @@
-"""REST integration layer (FastAPI substitute)."""
+"""REST integration layer (FastAPI substitute), served by asyncio."""
 
-from .app import create_app
+from .app import TenantRegistry, create_app
 from .client import TestClient
-from .http import HTTPError, Request, Response, Router, sanitize_json, serve
+from .http import (
+    AsyncHTTPServer,
+    HTTPError,
+    Request,
+    Response,
+    Router,
+    sanitize_json,
+    serve,
+)
+from .jobs import (
+    DEFAULT_WORKERS,
+    Job,
+    JobNotFoundError,
+    JobQueue,
+    LockRegistry,
+    RWLock,
+    SERVER_WORKERS_ENV,
+    resolve_worker_count,
+)
 
 __all__ = [
+    "AsyncHTTPServer",
+    "DEFAULT_WORKERS",
     "HTTPError",
+    "Job",
+    "JobNotFoundError",
+    "JobQueue",
+    "LockRegistry",
+    "RWLock",
     "Request",
     "Response",
     "Router",
+    "SERVER_WORKERS_ENV",
+    "TenantRegistry",
     "TestClient",
     "create_app",
+    "resolve_worker_count",
     "sanitize_json",
     "serve",
 ]

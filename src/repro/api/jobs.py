@@ -1,0 +1,281 @@
+"""Background jobs and per-dataset locking for the async REST layer.
+
+This module holds the concurrency machinery that lets the serving layer
+(:mod:`repro.api.app` over :mod:`repro.api.http`) answer requests while
+heavy pipeline work runs elsewhere:
+
+``JobQueue``
+    A bounded :class:`~concurrent.futures.ThreadPoolExecutor` executing
+    profiling / detection / repair / iterative-clean work off the HTTP
+    event loop. ``POST …?async=1`` submits a job and returns ``202``
+    with a job id; ``GET /jobs/{id}`` polls it. Job lifecycle::
+
+        queued ──> running ──> done    (result carries the payload)
+                          └──> failed  (error carries the detail)
+
+    The worker count comes from the ``workers`` argument, else the
+    ``DATALENS_SERVER_WORKERS`` environment variable, else
+    :data:`DEFAULT_WORKERS`. Finished jobs are retained (newest first)
+    up to ``max_retained`` so polls after completion still answer.
+
+``RWLock`` / ``LockRegistry``
+    Per-dataset reader/writer locks: any number of read-only requests
+    proceed concurrently, while mutating requests (ingest, detect,
+    repair, restore, labels, tags, rules) serialize against both
+    readers and each other. Writer-preference keeps a stream of reads
+    from starving a pending mutation. The registry hands out one lock
+    per ``(tenant, dataset)`` key.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterator
+
+SERVER_WORKERS_ENV = "DATALENS_SERVER_WORKERS"
+DEFAULT_WORKERS = 4
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def resolve_worker_count(workers: int | None = None) -> int:
+    """Explicit ``workers``, else ``DATALENS_SERVER_WORKERS``, else 4."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        return workers
+    raw = os.environ.get(SERVER_WORKERS_ENV, "").strip()
+    if not raw:
+        return DEFAULT_WORKERS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid integer for {SERVER_WORKERS_ENV}: {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{SERVER_WORKERS_ENV} must be >= 1, got {value}")
+    return value
+
+
+class JobNotFoundError(KeyError):
+    """Unknown job id (mapped to HTTP 404 by the REST app)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"no job with id {job_id!r}")
+        self.job_id = job_id
+
+    def __str__(self) -> str:  # KeyError would add quotes around the message
+        return self.args[0]
+
+
+@dataclass
+class Job:
+    """One queued unit of pipeline work and its lifecycle record."""
+
+    id: str
+    kind: str
+    dataset: str | None
+    tenant: str
+    status: str = QUEUED
+    result: Any = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "tenant": self.tenant,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.status == DONE:
+            payload["result"] = self.result
+        if self.status == FAILED:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """Bounded worker pool with pollable job records.
+
+    Thread safety: all job-state transitions happen under one lock, and
+    a condition variable backs :meth:`wait`. Work callables run on the
+    pool; an exception marks the job ``failed`` with
+    ``"ExcType: detail"`` as the error (it never escapes the worker).
+    """
+
+    def __init__(
+        self, workers: int | None = None, max_retained: int = 512
+    ) -> None:
+        self.workers = resolve_worker_count(workers)
+        if max_retained < 1:
+            raise ValueError(f"max_retained must be >= 1, got {max_retained}")
+        self._max_retained = max_retained
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="datalens-job"
+        )
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        work: Callable[[], Any],
+        dataset: str | None = None,
+        tenant: str = "default",
+    ) -> Job:
+        """Queue ``work`` on the pool; returns the (still queued) job."""
+        job = Job(id=uuid.uuid4().hex, kind=kind, dataset=dataset, tenant=tenant)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._prune_locked()
+        self._pool.submit(self._run, job, work)
+        return job
+
+    def _run(self, job: Job, work: Callable[[], Any]) -> None:
+        with self._changed:
+            job.status = RUNNING
+            job.started_at = time.time()
+            self._changed.notify_all()
+        try:
+            result = work()
+        except BaseException as error:  # noqa: BLE001 — a job failure must
+            # land in the job record, not kill the worker thread.
+            detail = getattr(error, "detail", None) or str(error)
+            with self._changed:
+                job.status = FAILED
+                job.error = f"{type(error).__name__}: {detail}"
+                job.finished_at = time.time()
+                self._changed.notify_all()
+        else:
+            with self._changed:
+                job.status = DONE
+                job.result = result
+                job.finished_at = time.time()
+                self._changed.notify_all()
+
+    def _prune_locked(self) -> None:
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.status in (DONE, FAILED)
+        ]
+        excess = len(self._jobs) - self._max_retained
+        for job_id in finished[: max(0, excess)]:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def list(
+        self, tenant: str | None = None, dataset: str | None = None
+    ) -> list[Job]:
+        """Matching jobs, newest submission first."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if tenant is not None:
+            jobs = [job for job in jobs if job.tenant == tenant]
+        if dataset is not None:
+            jobs = [job for job in jobs if job.dataset == dataset]
+        return sorted(jobs, key=lambda job: job.submitted_at, reverse=True)
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Block until the job finishes; raises TimeoutError otherwise."""
+        deadline = time.monotonic() + timeout
+        job = self.get(job_id)
+        with self._changed:
+            while job.status not in (DONE, FAILED):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id!r} still {job.status} after {timeout}s"
+                    )
+                self._changed.wait(remaining)
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+class RWLock:
+    """Writer-preference reader/writer lock (not reentrant).
+
+    Any number of readers share the lock; a writer excludes readers and
+    other writers. A waiting writer blocks *new* readers, so mutations
+    cannot starve behind a stream of reads.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_lock(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_lock(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class LockRegistry:
+    """One :class:`RWLock` per key, created on first use."""
+
+    def __init__(self) -> None:
+        self._locks: dict[Hashable, RWLock] = {}
+        self._guard = threading.Lock()
+
+    def of(self, *key: Hashable) -> RWLock:
+        with self._guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = RWLock()
+            return lock

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro rules data.csv --max-lhs 1 --algorithm approximate
     python -m repro datasheet replay sheet.json data.csv --output fixed.csv
     python -m repro datasets                # list preloaded datasets
+    python -m repro serve ./workspace --port 8080   # async REST server
 """
 
 from __future__ import annotations
@@ -187,6 +188,58 @@ def _cmd_datasheet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the async REST server over a workspace directory."""
+    from .api import create_app, serve
+    from .core import DataLens
+
+    lens = DataLens(
+        args.workspace,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        spill_budget=(
+            parse_byte_size(args.spill_budget, "--spill-budget")
+            if args.spill_budget is not None
+            else None
+        ),
+        spill_dir=args.spill_dir,
+    )
+    router = create_app(lens, workers=args.workers)
+    server = serve(
+        router, host=args.host, port=args.port, max_workers=args.workers
+    )
+    host, port = server.server_address
+    # flush: with --port 0 this line is how supervisors learn the bound
+    # port, and stdout is block-buffered when piped.
+    print(f"serving DataLens workspace {args.workspace!r} "
+          f"on http://{host}:{port} "
+          f"({router.job_queue.workers} workers)", flush=True)
+    if args.smoke_test:
+        # Boot, answer one in-process health check, and exit — used by
+        # tests and CI to validate the command without a long-running
+        # process.
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/health", timeout=10
+        ) as response:
+            ok = response.status == 200
+        server.shutdown()
+        router.job_queue.shutdown()
+        print("smoke test passed" if ok else "smoke test failed")
+        return 0 if ok else 1
+    try:
+        import threading
+
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        router.job_queue.shutdown()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     for name in sorted(PRELOADED):
         frame = load_clean(name)
@@ -257,6 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
     sheet_cmd.add_argument("data")
     sheet_cmd.add_argument("--output")
     sheet_cmd.set_defaults(func=_cmd_datasheet)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the async REST server over a workspace"
+    )
+    serve_cmd.add_argument("workspace", help="workspace directory")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks a free one)")
+    serve_cmd.add_argument(
+        "--workers", type=int,
+        help="thread-pool size for handlers and jobs "
+        "(default: DATALENS_SERVER_WORKERS or 4)",
+    )
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--smoke-test", action="store_true",
+        help="boot, self-check /health, and exit",
+    )
+    _add_scale_options(serve_cmd)
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     datasets_cmd = commands.add_parser("datasets", help="list preloaded data")
     datasets_cmd.set_defaults(func=_cmd_datasets)

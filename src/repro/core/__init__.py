@@ -8,7 +8,7 @@ from .artifacts import (
     cache_max_bytes_from_env,
     estimate_artifact_bytes,
 )
-from .controller import DataLens, DataLensSession
+from .controller import DataLens, DataLensSession, DatasetNotFoundError
 from .datasheet import DataSheet
 from .explain import CellExplanation, Evidence, explain_cell, explain_session
 from .iterative import (
@@ -70,6 +70,7 @@ __all__ = [
     "DataLens",
     "DataLensSession",
     "DataSheet",
+    "DatasetNotFoundError",
     "DownstreamScorer",
     "IterativeCleaner",
     "IterativeCleaningResult",

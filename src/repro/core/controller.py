@@ -10,8 +10,9 @@ DataSheets, with every detection/repair run logged to the "Detection" /
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..dataframe import Cell, DataFrame
 from ..detection import (
@@ -41,6 +42,22 @@ from .registry import make_detector, make_repairer
 from .tagging import TagRegistry
 
 
+class DatasetNotFoundError(KeyError):
+    """Unknown dataset name (the REST layer maps this to HTTP 404).
+
+    Subclasses ``KeyError`` so historical ``except KeyError`` callers
+    keep working, while letting the HTTP dispatcher distinguish "no such
+    dataset" from a genuine handler bug raising ``KeyError``.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no dataset named {name!r}")
+        self.dataset = name
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr-quote the message
+        return self.args[0]
+
+
 class DataLensSession:
     """All state the dashboard holds for one ingested dataset.
 
@@ -55,18 +72,37 @@ class DataLensSession:
     version hits the entries computed for it earlier.
     """
 
-    def __init__(self, controller: "DataLens", name: str) -> None:
+    def __init__(
+        self,
+        controller: "DataLens",
+        name: str,
+        frame: DataFrame | None = None,
+    ) -> None:
         self.controller = controller
         self.name = name
         self.workspace = controller.loader.workspace_for(name)
-        self.frame: DataFrame = controller.loader.load(name)
+        # ``frame`` short-circuits the disk load for streaming ingestion:
+        # the uploaded CSV was already parsed (and possibly spilled) on
+        # its way into the workspace, so re-reading it would double the
+        # ingest cost.
+        self.frame: DataFrame = (
+            frame if frame is not None else controller.loader.load(name)
+        )
         self.delta = DeltaTable(self.workspace.delta_path)
         if self.delta.latest_version() is None:
             self.delta.write(self.frame, operation="upload")
         self.rule_set = RuleSet()
         self.tags = TagRegistry()
         self.labels: dict[Cell, bool] = {}
-        self.artifacts = ArtifactStore()
+        # The controller may inject a store shared across sessions (and,
+        # in the REST layer, across tenants): artifact keys are content
+        # fingerprints, so identical columns uploaded by different users
+        # deduplicate into the same cache entries.
+        self.artifacts = (
+            controller.artifact_store
+            if controller.artifact_store is not None
+            else ArtifactStore()
+        )
         self.profile_report: ProfileReport | None = None
         self.detection_results: dict[str, DetectionResult] = {}
         self.detected_cells: set[Cell] = set()
@@ -457,6 +493,7 @@ class DataLens:
         profile_jobs: int | None = None,
         spill_budget: int | None = None,
         spill_dir: str | Path | None = None,
+        artifact_store: ArtifactStore | None = None,
     ) -> None:
         self.workspace_dir = Path(workspace_dir)
         self.loader = DataLoader(
@@ -468,7 +505,16 @@ class DataLens:
         self.tracking = TrackingClient(self.workspace_dir / "mlruns")
         self.seed = seed
         self.profile_jobs = profile_jobs
+        #: When set, every session shares this store instead of owning
+        #: one — the multi-tenant REST layer passes the same store to
+        #: every tenant's controller so identical column content
+        #: deduplicates across users (keys are content fingerprints).
+        self.artifact_store = artifact_store
         self._sessions: dict[str, DataLensSession] = {}
+        # Guards lazy session opening: two concurrent requests touching
+        # a dataset for the first time must share one session object,
+        # not race ``_open`` into two divergent copies of its state.
+        self._session_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def ingest_frame(self, name: str, frame: DataFrame) -> DataLensSession:
@@ -487,17 +533,33 @@ class DataLens:
         workspace = self.loader.ingest_sql(database, table)
         return self._open(workspace.name)
 
-    def _open(self, name: str) -> DataLensSession:
-        session = DataLensSession(self, name)
-        self._sessions[name] = session
-        return session
+    def ingest_csv_stream(
+        self, name: str, lines: Iterator[str] | Iterable[str]
+    ) -> DataLensSession:
+        """Stream CSV lines into a dataset in one pass (REST upload path).
+
+        The lines are tee'd to the workspace's ``dirty.csv`` while being
+        parsed by the chunked reader under the controller's chunk/spill
+        configuration, so an upload larger than RAM is persisted and
+        packed (spilled shard by shard) without ever materializing — the
+        session then starts from the already-parsed frame.
+        """
+        workspace, frame = self.loader.ingest_csv_stream(name, lines)
+        return self._open(workspace.name, frame=frame)
+
+    def _open(self, name: str, frame: DataFrame | None = None) -> DataLensSession:
+        with self._session_lock:
+            session = DataLensSession(self, name, frame=frame)
+            self._sessions[name] = session
+            return session
 
     def session(self, name: str) -> DataLensSession:
-        if name not in self._sessions:
-            if name in self.loader.list_datasets():
-                return self._open(name)
-            raise KeyError(f"no session for dataset {name!r}")
-        return self._sessions[name]
+        with self._session_lock:
+            if name not in self._sessions:
+                if name in self.loader.list_datasets():
+                    return self._open(name)
+                raise DatasetNotFoundError(name)
+            return self._sessions[name]
 
     def list_datasets(self) -> list[str]:
         return self.loader.list_datasets()

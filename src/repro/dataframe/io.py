@@ -229,6 +229,24 @@ def read_csv_text_chunked(
     )
 
 
+def read_csv_stream(
+    lines: Iterable[str],
+    delimiter: str = ",",
+    dtypes: Mapping[str, str] | None = None,
+    chunk_size: int | None = None,
+    spill=None,
+):
+    """Stream CSV *lines* (any iterable of text) into a ChunkedFrame.
+
+    The network-facing variant of :func:`read_csv_chunked`: the REST
+    upload path feeds it the socket body line by line, so a CSV larger
+    than RAM is parsed, packed, and (with ``spill``) written to disk one
+    chunk at a time. Same parsing/inference/coercion as
+    :func:`read_csv`, bit for bit.
+    """
+    return _read_csv_stream(lines, delimiter, dtypes, chunk_size, spill)
+
+
 def _read_csv_stream(
     handle: Iterable[str],
     delimiter: str,

@@ -19,6 +19,8 @@ from ..dataframe import (
     default_chunk_size,
     read_csv,
     read_csv_chunked,
+    read_csv_stream,
+    read_csv_text,
     spill_enabled_by_env,
     write_csv,
 )
@@ -118,6 +120,40 @@ class DataLoader:
         source = Path(path)
         frame = read_csv(source, delimiter=delimiter)
         return self.ingest_frame(source.stem, frame)
+
+    def ingest_csv_stream(self, name: str, lines) -> tuple[DatasetWorkspace, DataFrame]:
+        """Single-pass streaming upload: persist *and* parse CSV lines.
+
+        Every line read from ``lines`` (any iterable of text — the REST
+        layer passes the request-body stream) is tee'd to the dataset's
+        ``dirty.csv`` while the chunked reader packs it into shards
+        under the loader's chunk/spill configuration, so the upload is
+        written to the workspace and parsed without ever holding the
+        full table. Returns the workspace together with the parsed
+        frame so callers skip the usual re-load from disk.
+        """
+        workspace = self.workspace_for(name)
+        chunk_size = self._effective_chunk_size()
+        chunked = chunk_size is not None or self._spill_requested()
+        with open(
+            workspace.dirty_path, "w", newline="", encoding="utf-8"
+        ) as sink:
+            if chunked:
+                def tee():
+                    for line in lines:
+                        sink.write(line)
+                        yield line
+
+                frame: DataFrame = read_csv_stream(
+                    tee(), chunk_size=chunk_size, spill=self._spill_store()
+                )
+            else:
+                # Monolithic configuration: small-data path, parse the
+                # accumulated text exactly like ``load`` would.
+                text = "".join(lines)
+                sink.write(text)
+                frame = read_csv_text(text)
+        return workspace, frame
 
     def ingest_preloaded(self, name: str) -> DatasetWorkspace:
         """Load one of the datasets that ship with the dashboard."""

@@ -1,0 +1,115 @@
+"""Concurrent-mutation correctness: hammered endpoints end bit-identical.
+
+The per-dataset writer lock serializes mutations, so any interleaving of
+identical detect/repair requests must leave the workspace in exactly the
+state a serial run produces — same repaired bytes, same detections, same
+Delta version count. Before the lock existed, concurrent repairs could
+interleave session-state updates and diverge.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import TestClient, create_app
+from repro.core import DataLens
+from repro.dataframe import to_csv_text
+
+DETECT_BODY = {"tools": ["mv_detector", "iqr"]}
+REPAIR_BODY = {"tool": "ml_imputer"}
+HAMMER = 4
+
+
+def _run_pipeline_serial(lens):
+    client = TestClient(create_app(lens, workers=1))
+    assert client.post("/datasets/nasa/detect", DETECT_BODY).status == 200
+    for _ in range(HAMMER):
+        assert client.post("/datasets/nasa/detect", DETECT_BODY).status == 200
+    for _ in range(HAMMER):
+        assert client.post("/datasets/nasa/repair", REPAIR_BODY).status == 200
+    return _snapshot(lens)
+
+
+def _snapshot(lens):
+    session = lens.session("nasa")
+    return {
+        "frame": to_csv_text(session.frame),
+        "repaired": to_csv_text(session.repaired_frame),
+        "detected": sorted(session.detected_cells),
+        "versions": len(session.version_history()),
+        "latest": to_csv_text(
+            session.delta.read(session.delta.latest_version())
+        ),
+    }
+
+
+class TestConcurrentMutationBitIdentity:
+    def test_hammered_detect_repair_matches_serial_run(
+        self, tmp_path, nasa_dirty
+    ):
+        serial_lens = DataLens(tmp_path / "serial", seed=0)
+        serial_lens.ingest_frame("nasa", nasa_dirty.dirty)
+        expected = _run_pipeline_serial(serial_lens)
+
+        lens = DataLens(tmp_path / "concurrent", seed=0)
+        lens.ingest_frame("nasa", nasa_dirty.dirty)
+        router = create_app(lens, workers=4)
+        client = TestClient(router)
+        # Seed one detection synchronously so a repair never races ahead
+        # of the first detect into a RuntimeError.
+        assert client.post("/datasets/nasa/detect", DETECT_BODY).status == 200
+
+        statuses = []
+        record = threading.Lock()
+
+        def hit(path, body):
+            response = client.post(path, body)
+            with record:
+                statuses.append(response.status)
+
+        threads = [
+            threading.Thread(
+                target=hit, args=("/datasets/nasa/detect", DETECT_BODY)
+            )
+            for _ in range(HAMMER)
+        ] + [
+            threading.Thread(
+                target=hit, args=("/datasets/nasa/repair", REPAIR_BODY)
+            )
+            for _ in range(HAMMER)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        router.job_queue.shutdown()
+
+        assert statuses == [200] * (2 * HAMMER)
+        assert _snapshot(lens) == expected
+
+    def test_concurrent_session_open_yields_one_session(
+        self, tmp_path, nasa_dirty
+    ):
+        """Regression: two first-touch requests used to race ``_open``
+        into two divergent session objects."""
+        seed = DataLens(tmp_path / "w", seed=0)
+        seed.ingest_frame("nasa", nasa_dirty.dirty)
+        # Fresh controller over the same workspace: no session cached.
+        lens = DataLens(tmp_path / "w", seed=0)
+        sessions = []
+        barrier = threading.Barrier(8, timeout=30)
+        lock = threading.Lock()
+
+        def open_session():
+            barrier.wait()
+            session = lens.session("nasa")
+            with lock:
+                sessions.append(session)
+
+        threads = [threading.Thread(target=open_session) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(sessions) == 8
+        assert all(session is sessions[0] for session in sessions)

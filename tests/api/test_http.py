@@ -1,7 +1,11 @@
 """Router/framework tests for the REST layer."""
 
+import http.client
 import json
 import math
+import threading
+import time
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -56,6 +60,16 @@ def router():
     def crash(request):
         raise TypeError("handler bug: 'NoneType' is not subscriptable")
 
+    @router.get("/slow")
+    def slow(request):
+        time.sleep(0.4)
+        return {"slow": True}
+
+    @router.post("/upload")
+    def upload(request):
+        data = request.stream.read() if request.stream is not None else b""
+        return {"bytes": len(data)}
+
     @router.get("/stats")
     def stats(request):
         # Profile-shaped payload with the non-finite floats degenerate
@@ -105,8 +119,19 @@ class TestRouter:
     def test_value_error_is_400(self, router):
         assert TestClient(router).get("/boom").status == 400
 
-    def test_key_error_is_404(self, router):
-        assert TestClient(router).get("/missing").status == 404
+    def test_bare_key_error_is_logged_500(self, router, caplog):
+        """Regression: a bare ``KeyError`` from a handler bug used to
+        masquerade as 404; it is a logged 500 now (typed not-found
+        exceptions get their 404 via ``map_exception``)."""
+        import logging
+
+        with caplog.at_level(logging.ERROR, logger="repro.api.http"):
+            response = TestClient(router).get("/missing")
+        assert response.status == 500
+        assert response.body["detail"].startswith("KeyError")
+        assert any(
+            record.exc_info is not None for record in caplog.records
+        )
 
     def test_trailing_slash_tolerated(self, router):
         assert TestClient(router).get("/items/").status == 200
@@ -134,6 +159,80 @@ class TestRouter:
 
     def test_http_error_still_wins_over_catch_all(self, router):
         assert TestClient(router).post("/items", {}).status == 422
+
+
+class TestPathDecoding:
+    """Path parameters are URL-decoded before reaching handlers."""
+
+    def test_percent_encoded_space(self, router):
+        response = TestClient(router).get("/items/hello%20world")
+        assert response.status == 200
+        assert response.body == {"id": "hello world"}
+
+    def test_non_ascii_name(self, router):
+        encoded = urllib.parse.quote("café données")
+        response = TestClient(router).get(f"/items/{encoded}")
+        assert response.body == {"id": "café données"}
+
+    def test_encoded_slash_does_not_split_segments(self, router):
+        # %2F must not change routing (templates match the encoded
+        # path), but the handler sees the decoded value.
+        response = TestClient(router).get("/items/a%2Fb")
+        assert response.status == 200
+        assert response.body == {"id": "a/b"}
+
+    def test_socket_roundtrip_decodes(self, router):
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            encoded = urllib.parse.quote("naïve set")
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/items/{encoded}", timeout=5
+            ) as response:
+                assert json.loads(response.read()) == {"id": "naïve set"}
+        finally:
+            server.shutdown()
+
+
+class TestErrorMapping:
+    def test_map_exception_gives_typed_status(self):
+        router = Router()
+
+        class MissingThing(KeyError):
+            pass
+
+        @router.get("/thing")
+        def thing(request):
+            raise MissingThing("gone")
+
+        router.map_exception(MissingThing, 404)
+        response = TestClient(router).get("/thing")
+        assert response.status == 404
+
+    def test_registered_mapping_wins_over_default(self):
+        router = Router()
+
+        class Conflict(ValueError):
+            pass
+
+        @router.get("/c")
+        def conflicted(request):
+            raise Conflict("already exists")
+
+        router.map_exception(Conflict, 409)
+        response = TestClient(router).get("/c")
+        assert response.status == 409
+        assert response.body == {"detail": "already exists"}
+
+    def test_unmapped_sibling_keeps_default(self):
+        router = Router()
+
+        @router.get("/v")
+        def plain(request):
+            raise ValueError("still 400")
+
+        router.map_exception(FileNotFoundError, 410)
+        assert TestClient(router).get("/v").status == 400
 
 
 class TestSanitizeJson:
@@ -208,6 +307,73 @@ class TestRealServer:
             stats = _strict_loads(raw)["columns"][0]["statistics"]
             assert stats["std"] is None
             assert stats["mean"] == 1.5
+        finally:
+            server.shutdown()
+
+    def test_keepalive_connection_reuse(self, router):
+        """One TCP connection serves several requests (HTTP/1.1)."""
+        server = serve(router, port=0)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server_address[1], timeout=5
+            )
+            for _ in range(3):
+                conn.request("GET", "/items")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read()) == {"items": [1, 2, 3]}
+                assert response.getheader("Connection") == "keep-alive"
+            conn.close()
+        finally:
+            server.shutdown()
+
+    def test_slow_handler_does_not_block_fast_requests(self, router):
+        """The event loop keeps taking requests while a handler runs on
+        the pool — the old one-thread-per-request server is gone."""
+        server = serve(router, port=0, max_workers=4)
+        try:
+            port = server.server_address[1]
+            slow_done = threading.Event()
+
+            def hit_slow():
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/slow", timeout=10
+                ).read()
+                slow_done.set()
+
+            thread = threading.Thread(target=hit_slow)
+            thread.start()
+            time.sleep(0.05)  # let /slow reach its handler
+            start = time.monotonic()
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/items", timeout=5
+            ) as response:
+                assert response.status == 200
+            fast_elapsed = time.monotonic() - start
+            assert not slow_done.is_set(), "/slow finished before /items ran"
+            thread.join(timeout=10)
+            assert fast_elapsed < 0.35  # /slow holds its thread for 0.4s
+
+        finally:
+            server.shutdown()
+
+    def test_streaming_csv_body_reaches_handler(self, router):
+        """A text/csv body arrives via ``request.stream``, crossing the
+        backpressure high-water mark (1 MiB) without loss."""
+        server = serve(router, port=0)
+        try:
+            port = server.server_address[1]
+            row = b"1234567890,abcdefghij\n"
+            body = b"a,b\n" + row * 120_000  # ~2.5 MiB
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/upload",
+                data=body,
+                headers={"Content-Type": "text/csv"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload == {"bytes": len(body)}
         finally:
             server.shutdown()
 

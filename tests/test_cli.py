@@ -108,3 +108,33 @@ def test_datasets_listing(capsys):
     out = capsys.readouterr().out
     for name in ("nasa", "beers", "hospital", "adult"):
         assert name in out
+
+
+class TestServeCommand:
+    def test_smoke_boots_and_answers_health(self, tmp_path, capsys):
+        workspace = tmp_path / "workspace"
+        code = main(
+            [
+                "serve", str(workspace),
+                "--port", "0",
+                "--workers", "2",
+                "--smoke-test",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving DataLens workspace" in out
+        assert "smoke test passed" in out
+
+    def test_serve_accepts_scale_options(self, tmp_path, capsys):
+        code = main(
+            [
+                "serve", str(tmp_path / "w"),
+                "--port", "0",
+                "--chunk-size", "257",
+                "--spill-budget", "64k",
+                "--smoke-test",
+            ]
+        )
+        assert code == 0
+        assert "smoke test passed" in capsys.readouterr().out
