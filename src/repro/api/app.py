@@ -20,7 +20,10 @@ POST        /datasets                              ingest ``records`` /
                                                    ``csv_text`` / ``preloaded``
 POST        /datasets/{name}/upload                **streaming** CSV upload
                                                    (Content-Type ``text/csv``)
-GET         /datasets/{name}                       preview (``?limit=``)
+GET         /datasets/{name}                       preview (``?limit=``,
+                                                   ``?sort_by=a,b``,
+                                                   ``?descending=1``,
+                                                   ``?sort_strategy=``)
 GET         /datasets/{name}/profile               profile report [async-able]
 GET         /datasets/{name}/quality               quality metrics
 GET         /datasets/{name}/cache                 artifact-cache counters
@@ -397,8 +400,40 @@ def create_app(
 
     @router.get("/datasets/{name}")
     def preview(request: Request) -> dict:
+        """Preview rows, optionally sorted server-side.
+
+        ``?sort_by=col_a,col_b`` sorts before slicing ``limit`` rows;
+        ``?descending=1`` flips the order and ``?sort_strategy=`` forces
+        ``memory``/``external`` (default ``auto``: external when the
+        frame is spilled, so sorting never densifies the stored frame).
+        """
         limit = _int_param(request.query, "limit", 20)
-        return _read(request, lambda session: _frame_preview(session.frame, limit))
+        sort_spec = request.query.get("sort_by", "").strip()
+        sort_columns = [c.strip() for c in sort_spec.split(",") if c.strip()]
+        descending = (
+            request.query.get("descending", "").strip().lower() in _TRUTHY
+        )
+        strategy = request.query.get("sort_strategy") or None
+
+        def work(session: Any) -> dict:
+            frame = session.frame
+            if sort_columns:
+                from ..dataframe import sort_by
+
+                try:
+                    frame = sort_by(
+                        frame,
+                        sort_columns,
+                        descending=descending,
+                        strategy=strategy,
+                    )
+                except KeyError as exc:
+                    raise HTTPError(422, str(exc.args[0])) from exc
+                except ValueError as exc:
+                    raise HTTPError(422, str(exc)) from exc
+            return _frame_preview(frame, limit)
+
+        return _read(request, work)
 
     # ------------------------------------------------------------------
     @router.get("/datasets/{name}/profile")

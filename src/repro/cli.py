@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro repair data.csv --tools union_broad --repairer ml_imputer \
         --output repaired.csv
     python -m repro rules data.csv --max-lhs 1 --algorithm approximate
+    python -m repro sort data.csv --by city price --descending \
+        --spill-budget 64m --output sorted.csv
     python -m repro datasheet replay sheet.json data.csv --output fixed.csv
     python -m repro datasets                # list preloaded datasets
     python -m repro serve ./workspace --port 8080   # async REST server
@@ -157,6 +159,34 @@ def _cmd_refcheck(args: argparse.Namespace) -> int:
     return 1 if meta["violating_rows"] and args.strict else 0
 
 
+def _cmd_sort(args: argparse.Namespace) -> int:
+    """Sort a CSV by one or more key columns.
+
+    With ``--spill-budget`` (or ``DATALENS_SORT_STRATEGY=external``) the
+    sort runs out-of-core: spilled runs are merged shard-by-shard and the
+    result stays spilled until written out, so peak resident bytes stay
+    within the spill budget.
+    """
+    from .dataframe import sort_by
+
+    frame = _load_frame(args)
+    result = sort_by(
+        frame, args.by, descending=args.descending, strategy=args.strategy
+    )
+    print(f"sorted {result.num_rows} rows by {args.by} "
+          f"({'descending' if args.descending else 'ascending'})")
+    if args.output:
+        write_csv(result, args.output)
+        print(f"sorted table written to {args.output}")
+    else:
+        preview = result.head(10)
+        print(",".join(preview.column_names))
+        for row in preview.to_records():
+            print(",".join("" if row[name] is None else str(row[name])
+                           for name in preview.column_names))
+    return 0
+
+
 def _cmd_rules(args: argparse.Namespace) -> int:
     frame = _load_frame(args)
     if args.algorithm == "tane":
@@ -286,7 +316,8 @@ def build_parser() -> argparse.ArgumentParser:
                               help="key column(s) in the parent table "
                               "(default: same names as --on)")
     refcheck_cmd.add_argument(
-        "--strategy", choices=("auto", "memory", "partitioned", "merge"),
+        "--strategy",
+        choices=("auto", "memory", "partitioned", "merge", "sortmerge"),
         help="force a join strategy (default: planner decides)",
     )
     refcheck_cmd.add_argument("--strict", action="store_true",
@@ -294,6 +325,22 @@ def build_parser() -> argparse.ArgumentParser:
     refcheck_cmd.add_argument("--output", help="write violating cells as JSON")
     _add_scale_options(refcheck_cmd)
     refcheck_cmd.set_defaults(func=_cmd_refcheck)
+
+    sort_cmd = commands.add_parser(
+        "sort", help="sort a CSV by key columns (spill-aware)"
+    )
+    sort_cmd.add_argument("data")
+    sort_cmd.add_argument("--by", nargs="+", required=True,
+                          help="key column(s), highest priority first")
+    sort_cmd.add_argument("--descending", action="store_true")
+    sort_cmd.add_argument(
+        "--strategy", choices=("auto", "memory", "external"),
+        help="force a sort strategy (default: DATALENS_SORT_STRATEGY, "
+        "else external iff the input is spilled)",
+    )
+    sort_cmd.add_argument("--output", help="write the sorted table as CSV")
+    _add_scale_options(sort_cmd)
+    sort_cmd.set_defaults(func=_cmd_sort)
 
     rules_cmd = commands.add_parser("rules", help="discover FD rules")
     rules_cmd.add_argument("data")

@@ -35,8 +35,12 @@ Chunking contract
   of the per-chunk compressed shards, which is element-identical to the
   monolithic compression).
 
-Every derived frame (``select``/``take``/``sort_by``/...) is monolithic;
-chunking is a property of the stored table, not of query results.
+Every derived frame (``select``/``take``/in-memory ``sort_by``/...) is
+monolithic; chunking is a property of the stored table, not of query
+results. The one deliberate exception is the external merge sort
+(:mod:`repro.dataframe.sort`): its output is emitted shard-by-shard as a
+spill-backed chunked frame, because densifying the result would defeat
+sorting a frame that never fit in memory in the first place.
 
 Out-of-core spilling
 --------------------

@@ -375,8 +375,8 @@ class DataFrame:
 
         ``how`` is ``"inner"``/``"left"``/``"outer"``; ``strategy``
         forces a physical plan (``"memory"``/``"partitioned"``/
-        ``"merge"``), else the planner picks one. Works uniformly on
-        monolithic, chunked, and spilled frames.
+        ``"merge"``/``"sortmerge"``), else the planner picks one. Works
+        uniformly on monolithic, chunked, and spilled frames.
         """
         from .joins import join as _join
 
@@ -397,6 +397,24 @@ class DataFrame:
         from .ops import group_by as _group_by
 
         return _group_by(self, columns, aggregations)
+
+    def sort_by(
+        self,
+        columns: Sequence[str],
+        descending: bool = False,
+        strategy: str | None = None,
+    ) -> "DataFrame":
+        """Stable multi-key sort; see :func:`repro.dataframe.ops.sort_by`.
+
+        ``strategy`` picks the physical plan (``"memory"`` /
+        ``"external"``, default auto): spilled frames sort out-of-core
+        through :mod:`repro.dataframe.sort` and come back spilled;
+        resident frames use the dense lexsort kernel. Results are
+        bit-identical either way.
+        """
+        from .ops import sort_by as _sort_by
+
+        return _sort_by(self, columns, descending=descending, strategy=strategy)
 
     # ------------------------------------------------------------------
     # Missing data

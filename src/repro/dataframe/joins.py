@@ -24,9 +24,20 @@ Join strategies
 * ``merge`` — a sorted-merge join for inputs already sorted on the key
   (ascending, missing last — the order :func:`repro.dataframe.sort_by`
   produces). Streams one key run per side at a time and never builds a
-  hash table. Explicit-only: the planner never guesses sortedness.
-* ``auto`` (default) — ``partitioned`` when either input is spilled,
-  else ``memory``.
+  hash table. Explicit ``merge`` never sorts: unsorted inputs raise.
+* ``sortmerge`` — the merge join behind an external sort: any input
+  that is not already sorted on the key is sorted out-of-core through
+  :func:`repro.dataframe.sort.external_sort_by` (a reduced frame of key
+  columns plus a row-id column, so payload columns never move), the
+  validated merge join runs on the sorted sides, and the matched pairs
+  are mapped back to input row ids. Temporary sort shards spill through
+  the inputs' store and are released before returning.
+* ``auto`` (default) — ``memory`` for resident inputs. For spilled
+  inputs: ``sortmerge`` when either side already satisfies the
+  sortedness contract on the key (the probe is one streaming key scan
+  per side and pins nothing resident; the presorted side streams
+  as-is, so only the other side pays an external sort), else
+  ``partitioned``.
 
 ``DATALENS_JOIN_STRATEGY`` overrides the default strategy process-wide
 (CI forces ``partitioned`` to run the whole suite through the
@@ -98,7 +109,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 import numpy as np
 
 from . import types as _types
-from .chunked import _concat_payload
+from .chunked import ChunkedColumn, ChunkedFrame, _concat_payload
 from .column import Column
 from .frame import DataFrame
 from .ops import (
@@ -109,6 +120,7 @@ from .ops import (
     _resolve_aggregator,
     _sort_key,
 )
+from .sort import external_sort_by
 from .spill import SpillStore, spill_store_of
 
 #: Environment override for the default join strategy.
@@ -117,7 +129,7 @@ JOIN_STRATEGY_ENV = "DATALENS_JOIN_STRATEGY"
 #: Environment override for the partitioned-join partition count.
 JOIN_PARTITIONS_ENV = "DATALENS_JOIN_PARTITIONS"
 
-JOIN_STRATEGIES = ("auto", "memory", "partitioned", "merge")
+JOIN_STRATEGIES = ("auto", "memory", "partitioned", "merge", "sortmerge")
 
 _JOIN_HOWS = ("inner", "left", "outer")
 
@@ -126,14 +138,23 @@ _JOIN_HOWS = ("inner", "left", "outer")
 # Planner
 # ----------------------------------------------------------------------
 def resolve_join_strategy(
-    strategy: str | None, left: DataFrame, right: DataFrame
+    strategy: str | None,
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str] | None = None,
 ) -> str:
     """Resolve the physical strategy: explicit > environment > auto.
 
-    ``auto`` picks ``partitioned`` when either input is spilled (joining
-    through ``memory`` would densify it), else ``memory``. ``merge`` is
-    never auto-selected — probing sortedness costs a full key scan, so
-    callers opt in explicitly.
+    For spilled inputs (joining through ``memory`` would densify them)
+    ``auto`` prefers a merge plan when it can get one cheaply: given the
+    key columns via ``on``, it probes each side's sortedness (a
+    streaming key scan through the spill LRU — nothing is pinned
+    resident) and picks ``sortmerge`` when either side already
+    satisfies the contract, so at most one side pays an external sort.
+    Otherwise spilled inputs route ``partitioned`` and resident inputs
+    ``memory``. Callers that need no sorted semantics (membership)
+    pass ``on=None`` and keep the historical partitioned/memory
+    resolution. Bare ``merge`` is still never auto-selected.
     """
     if strategy is None:
         strategy = (
@@ -147,6 +168,10 @@ def resolve_join_strategy(
         )
     if strategy == "auto":
         if spill_store_of(left) is not None or spill_store_of(right) is not None:
+            if on is not None and (
+                is_sorted_on(left, on) or is_sorted_on(right, on)
+            ):
+                return "sortmerge"
             return "partitioned"
         return "memory"
     return strategy
@@ -592,13 +617,115 @@ def _join_pairs_merge(
 
 
 def is_sorted_on(frame: DataFrame, on: Sequence[str]) -> bool:
-    """True when the frame satisfies the merge-join sortedness contract."""
+    """True when the frame satisfies the merge-join sortedness contract.
+
+    One streaming key scan: spilled shards pass through the store's LRU
+    chunk by chunk and nothing stays pinned resident afterwards (the
+    probe reads key chunks only, never ``values_array()``).
+    """
     try:
         for _ in _iter_key_runs(frame, list(on), "input"):
             pass
     except ValueError:
         return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Sort-merge join: external sort of unsorted inputs + the merge kernel
+# ----------------------------------------------------------------------
+def _sorted_with_rowids(
+    frame: DataFrame, key_names: Sequence[str], store: SpillStore
+) -> tuple[DataFrame, np.ndarray | None]:
+    """A frame sorted on the key, plus the sorted→input row-id map.
+
+    An already-sorted input streams as-is (``None`` map). Otherwise a
+    *reduced* frame — the key columns plus a collision-free row-id
+    column — is external-sorted through ``store``, so payload columns
+    never move and peak residency stays at the store budget. The row-id
+    column is densified to build the map (releasing its shards); the
+    sorted key shards are released by the caller after the merge.
+    """
+    if is_sorted_on(frame, key_names):
+        return frame, None
+    rowid = "__rowid__"
+    taken = set(frame.column_names)
+    while rowid in taken:
+        rowid += "_"
+    unique_keys = list(dict.fromkeys(key_names))
+    if isinstance(frame, ChunkedFrame):
+        shards = []
+        start = 0
+        for length in frame.chunk_lengths:
+            shards.append(
+                (
+                    np.arange(start, start + length, dtype=np.int64),
+                    np.zeros(length, dtype=bool),
+                )
+            )
+            start += length
+        rowid_col: Column = ChunkedColumn.from_shards(rowid, _types.INT, shards)
+        reduced: DataFrame = ChunkedFrame(
+            [frame.column(name) for name in unique_keys] + [rowid_col]
+        )
+    else:
+        n = frame.num_rows
+        rowid_col = Column._from_arrays(
+            rowid,
+            _types.INT,
+            np.arange(n, dtype=np.int64),
+            np.zeros(n, dtype=bool),
+        )
+        reduced = DataFrame(
+            [frame.column(name) for name in unique_keys] + [rowid_col]
+        )
+    sorted_frame = external_sort_by(reduced, unique_keys, store=store)
+    mapping = np.asarray(
+        sorted_frame.column(rowid).values_array()
+    ).astype(np.int64, copy=False)
+    return sorted_frame, mapping
+
+
+def _release_sorted_temp(frame: DataFrame, mapping: np.ndarray | None) -> None:
+    """Release a temp sorted frame's spilled shards (no-op when streamed)."""
+    if mapping is None:
+        return
+    for name in frame.column_names:
+        release = getattr(frame.column(name), "_release_spill", None)
+        if release is not None:
+            release()
+
+
+def _join_pairs_sortmerge(
+    left: DataFrame,
+    right: DataFrame,
+    key_names: Sequence[str],
+    store: SpillStore | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge-join after external-sorting whichever sides need it.
+
+    Pairs come back in the canonical ``(lp, rp)`` lexicographic order —
+    the same order every other strategy emits — via one final lexsort
+    after mapping sorted row ids back to input row ids.
+    """
+    if store is None:
+        store = spill_store_of(left) or spill_store_of(right)
+    temp_store = store if store is not None else SpillStore()
+    left_sorted, left_map = _sorted_with_rowids(left, key_names, temp_store)
+    right_sorted, right_map = _sorted_with_rowids(right, key_names, temp_store)
+    try:
+        lp, rp = _join_pairs_merge(left_sorted, right_sorted, key_names)
+    finally:
+        _release_sorted_temp(left_sorted, left_map)
+        _release_sorted_temp(right_sorted, right_map)
+    if len(lp):
+        if left_map is not None:
+            lp = left_map[lp]
+        if right_map is not None:
+            rp = right_map[rp]
+        order = np.lexsort((rp, lp))
+        lp, rp = lp[order], rp[order]
+    return lp, rp
 
 
 # ----------------------------------------------------------------------
@@ -839,7 +966,7 @@ def join(
     for name in key_names:
         left.column(name)
         right.column(name)
-    resolved = resolve_join_strategy(strategy, left, right)
+    resolved = resolve_join_strategy(strategy, left, right, on=key_names)
     if resolved == "memory":
         lp, rp = _join_pairs_memory(left, right, key_names)
     elif resolved == "partitioned":
@@ -850,6 +977,8 @@ def join(
         )
         parts = resolve_join_partitions(n_partitions, left, right, store)
         lp, rp = _join_pairs_partitioned(left, right, key_names, parts, store)
+    elif resolved == "sortmerge":
+        lp, rp = _join_pairs_sortmerge(left, right, key_names, store=spill)
     else:
         lp, rp = _join_pairs_merge(left, right, key_names)
     left_idx, right_idx = _expand_pairs(
@@ -946,8 +1075,10 @@ def semi_join_mask(
 
     Rows with a missing key cell are False (they match nothing). The
     key columns pair positionally with ``right_on`` (default: the same
-    names). ``merge`` falls back to ``memory`` — membership needs no
-    sorted output.
+    names). ``merge``/``sortmerge`` fall back to ``memory`` —
+    membership needs no sorted output — and ``auto`` resolves without
+    key columns (``on=None``), keeping the historical
+    partitioned/memory routing.
     """
     left_names = list(on)
     right_names = list(right_on) if right_on is not None else left_names

@@ -10,7 +10,11 @@ instead of per-cell ``frame.at`` loops:
   codes* (codes remapped so their integer order matches the documented
   value order: numbers before strings, missing last). ``descending=True``
   negates each column's codes independently, which reverses the value
-  order while keeping ties in original row order (stable).
+  order while keeping ties in original row order (stable). A
+  ``strategy`` seam (explicit > ``DATALENS_SORT_STRATEGY`` > auto)
+  routes spilled inputs through the external merge sort in
+  :mod:`repro.dataframe.sort`, which reuses these exact order-code
+  semantics per run so both plans are bit-identical.
 * ``group_indices`` / ``group_by`` — one stable argsort of the composite
   key codes; group boundaries come from code changes in the sorted
   array. Groups are emitted in first-occurrence order (matching the
@@ -122,14 +126,30 @@ def _order_codes(column: Column) -> np.ndarray:
 
 
 def sort_by(
-    frame: DataFrame, columns: Sequence[str], descending: bool = False
+    frame: DataFrame,
+    columns: Sequence[str],
+    descending: bool = False,
+    strategy: str | None = None,
 ) -> DataFrame:
     """Return the frame sorted by the given columns (stable).
 
     Tied keys keep their original row order in both directions:
     ``descending=True`` negates each column's order codes rather than
     reversing the sorted output, so stability is preserved.
+
+    ``strategy`` picks the physical plan (explicit >
+    ``DATALENS_SORT_STRATEGY`` > auto): ``memory`` is the dense
+    lexsort below; ``external`` routes through
+    :func:`repro.dataframe.sort.external_sort_by`, the spill-aware
+    merge sort whose output is a spilled ChunkedFrame. ``auto`` picks
+    ``external`` exactly when an input column is spilled (the memory
+    plan would densify it). Both plans are bit-identical — same values,
+    order, dtypes — differing only in the output's storage class.
     """
+    from .sort import external_sort_by, resolve_sort_strategy
+
+    if resolve_sort_strategy(strategy, frame) == "external":
+        return external_sort_by(frame, columns, descending=descending)
     n = frame.num_rows
     names = list(columns)
     if n == 0 or not names:

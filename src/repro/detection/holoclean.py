@@ -56,7 +56,11 @@ per-column ``repair:tokens`` artifacts keyed by column fingerprint and
 the fitted model a ``repair:cooccurrence`` artifact keyed by all column
 fingerprints — so a detect → repair cycle over content-identical frames
 (repair masks cells that are already null) fits the model once, and
-re-tokenizes only columns whose content actually changed.
+re-tokenizes only columns whose content actually changed. When *some*
+columns changed, the refit is still mostly warm: each unordered pair's
+contingency table is a ``repair:cooccurrence:pair`` artifact keyed on
+the two columns' fingerprints, so only the pairs touching a changed
+column recount.
 """
 
 from __future__ import annotations
@@ -183,10 +187,19 @@ def _lookup_counts(
 
 
 class CooccurrenceModel:
-    """Smoothed P(value | other attribute's value) statistics over codes."""
+    """Smoothed P(value | other attribute's value) statistics over codes.
 
-    def __init__(self, alpha: float = 1.0) -> None:
+    ``pair_cache`` is an optional ``(target, other, compute) -> table``
+    hook: when set, each unordered pair's contingency table is routed
+    through it, so a content-addressed store can replay tables for
+    column pairs whose content did not change (see
+    :meth:`HoloCleanDetector.fitted_model`). ``alpha`` only smooths
+    scoring, so cached tables are valid across alpha values.
+    """
+
+    def __init__(self, alpha: float = 1.0, pair_cache: Any = None) -> None:
         self.alpha = alpha
+        self._pair_cache = pair_cache
         self._order: list[str] = []
         self._columns: dict[str, TokenColumn] = {}
         self._index: dict[str, dict[Hashable, int]] = {}
@@ -234,17 +247,32 @@ class CooccurrenceModel:
                         empty, empty, np.zeros(n_t, dtype=np.int64)
                     )
                     continue
-                both = valid_masks[target] & valid_masks[other]
-                tc = tcol.codes[both]
-                oc = ocol.codes[both]
-                joint = oc * n_t + tc
-                keys, counts = np.unique(joint, return_counts=True)
-                seen_o = np.bincount(oc, minlength=n_o)
+                def compute(
+                    target: str = target,
+                    other: str = other,
+                    tcol: TokenColumn = tcol,
+                    ocol: TokenColumn = ocol,
+                    n_t: int = n_t,
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+                    both = valid_masks[target] & valid_masks[other]
+                    tc = tcol.codes[both]
+                    oc = ocol.codes[both]
+                    joint = oc * n_t + tc
+                    keys, counts = np.unique(joint, return_counts=True)
+                    seen_o = np.bincount(oc, minlength=len(ocol.tokens))
+                    seen_t = np.bincount(tc, minlength=n_t)
+                    return keys, counts, seen_o, seen_t
+
+                if self._pair_cache is not None:
+                    keys, counts, seen_o, seen_t = self._pair_cache(
+                        target, other, compute
+                    )
+                else:
+                    keys, counts, seen_o, seen_t = compute()
                 self._pairs[(target, other)] = (keys, counts, seen_o)
                 # transpose: re-key the same sparse entries as t * n_o + o
                 keys_t = (keys % n_t) * n_o + keys // n_t
                 order = np.argsort(keys_t)
-                seen_t = np.bincount(tc, minlength=n_t)
                 self._pairs[(other, target)] = (
                     keys_t[order], counts[order], seen_t
                 )
@@ -449,14 +477,38 @@ class HoloCleanDetector(Detector):
         artifact keyed by every column fingerprint plus ``(n_bins,
         alpha)`` — the detect → repair loop over content-identical
         frames fits once and replays the same model.
+
+        A *partial* change is incremental too: when any column's content
+        differs, the whole-model entry misses but the refit routes each
+        unordered pair's contingency table through a finer-grained
+        ``repair:cooccurrence:pair`` artifact keyed on the two columns'
+        fingerprints (plus ``n_bins``, which shapes the token domains).
+        Repairing one of ``c`` columns recomputes only the ``c - 1``
+        pairs that touch it; the other tables replay from cache. Alpha is
+        deliberately absent from the pair key — it smooths scoring, not
+        the counted tables.
         """
         store = store or None
         if store:
+            fingerprints = dict(
+                zip(frame.column_names, frame.column_fingerprints())
+            )
+
+            def pair_cache(target: str, other: str, compute: Any) -> Any:
+                return store.cached(
+                    "repair:cooccurrence:pair",
+                    (fingerprints[target], fingerprints[other]),
+                    (self.n_bins,),
+                    compute,
+                )
+
             return store.cached(
                 "repair:cooccurrence",
                 frame.column_fingerprints(),
                 (self.n_bins, self.alpha),
-                lambda: CooccurrenceModel(alpha=self.alpha).fit(tokens),
+                lambda: CooccurrenceModel(
+                    alpha=self.alpha, pair_cache=pair_cache
+                ).fit(tokens),
             )
         return CooccurrenceModel(alpha=self.alpha).fit(tokens)
 

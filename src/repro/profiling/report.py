@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from html import escape
 from typing import Any
 
+import numpy as np
+
 from ..dataframe import DataFrame
 from ..dataframe.chunked import default_chunk_size
 from .alerts import CORRELATION_ALERT_THRESHOLD, Alert, generate_alerts
@@ -112,12 +114,48 @@ def duplicate_row_artifact(frame: DataFrame, store) -> tuple[int, ...]:
     it, so one session store serves one entry to both subsystems. Stored
     as an immutable tuple with ``copy=False``: cache hits cost nothing,
     and consumers needing a list take a shallow copy.
+
+    The compute path is itself incremental: the per-column row codes are
+    cached under ``frame:rowcodes`` keyed on each column's content
+    fingerprint, and combined exactly like
+    :meth:`DataFrame.column_codes(dense=False)
+    <repro.dataframe.frame.DataFrame.column_codes>`. Repairing one
+    column therefore re-encodes only that column — the other partials
+    replay from cache and the recombination is pure numpy arithmetic.
     """
+
+    def compute() -> tuple[int, ...]:
+        if frame.num_rows == 0 or frame.num_columns == 0:
+            return ()
+        codes: np.ndarray | None = None
+        span = 0
+        for name in frame.column_names:
+            column = frame.column(name)
+            extra, extra_span = store.cached(
+                "frame:rowcodes",
+                (column.fingerprint(),),
+                (),
+                column.codes,
+            )
+            if codes is None:
+                codes, span = extra, extra_span
+                continue
+            if extra_span and span > (2**62) // max(extra_span, 1):
+                # Composite key would overflow int64 — re-densify first,
+                # mirroring DataFrame.column_codes exactly so the result
+                # stays bit-identical to the monolithic kernel.
+                uniques, inverse = np.unique(codes, return_inverse=True)
+                codes = inverse.astype(np.int64, copy=False)
+                span = len(uniques)
+            codes = codes * extra_span + extra
+            span = span * extra_span
+        _, first_index = np.unique(codes, return_index=True)
+        is_first = np.zeros(frame.num_rows, dtype=bool)
+        is_first[first_index] = True
+        return tuple(np.flatnonzero(~is_first).tolist())
+
     return store.cached(
-        "frame:duplicates",
-        frame.column_fingerprints(),
-        (),
-        lambda: tuple(frame.duplicate_row_indices()),
+        "frame:duplicates", frame.column_fingerprints(), (), compute
     )
 
 

@@ -631,3 +631,68 @@ class TestIncrementalCounters:
         after = store.stats()["by_kind"]["quality:validity"]
         assert after["misses"] - before["misses"] == 1
         assert after["hits"] - before["hits"] == frame.num_columns - 1
+
+    def test_duplicate_artifact_recomputes_one_rowcodes_partial(
+        self, random_values
+    ):
+        """Repairing one column re-encodes only that column's row codes.
+
+        The frame-level ``frame:duplicates`` entry misses (its key spans
+        every column), but its compute path replays the per-column
+        ``frame:rowcodes`` partials for the untouched columns and
+        recounts exactly one — while staying bit-identical to the
+        monolithic :meth:`DataFrame.duplicate_row_indices` kernel.
+        """
+        from repro.profiling.report import duplicate_row_artifact
+
+        frame = _random_frame(random_values, seed=31, n=60)
+        store = ArtifactStore(enabled=True)
+        assert duplicate_row_artifact(frame, store) == tuple(
+            frame.duplicate_row_indices()
+        )
+        repaired = frame.copy()
+        repaired.set_cells("f", [0, 2], [9.75, -1.25])
+        before = store.stats()["by_kind"]["frame:rowcodes"].copy()
+        assert duplicate_row_artifact(repaired, store) == tuple(
+            repaired.duplicate_row_indices()
+        )
+        after = store.stats()["by_kind"]["frame:rowcodes"]
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == frame.num_columns - 1
+
+    def test_cooccurrence_refit_recomputes_only_touched_pairs(
+        self, random_values
+    ):
+        """Repairing one of ``c`` columns recounts ``c - 1`` pair tables.
+
+        The whole-model ``repair:cooccurrence`` entry misses, but the
+        refit replays every ``repair:cooccurrence:pair`` table not
+        touching the dirty column — and the incremental model scores
+        bit-identically to a cold fit.
+        """
+        from repro.detection.holoclean import HoloCleanDetector
+
+        frame = _random_frame(random_values, seed=37, n=60)
+        detector = HoloCleanDetector()
+        store = ArtifactStore(enabled=True)
+        tokens = detector.tokenize(frame, store=store)
+        detector.fitted_model(frame, tokens, store=store)
+        n_pairs = frame.num_columns * (frame.num_columns - 1) // 2
+        first = store.stats()["by_kind"]["repair:cooccurrence:pair"]
+        assert first["misses"] == n_pairs
+
+        repaired = frame.copy()
+        repaired.set_cells("s", [1, 4], ["vX", "vY"])
+        tokens2 = detector.tokenize(repaired, store=store)
+        before = store.stats()["by_kind"]["repair:cooccurrence:pair"].copy()
+        warm = detector.fitted_model(repaired, tokens2, store=store)
+        after = store.stats()["by_kind"]["repair:cooccurrence:pair"]
+        assert after["misses"] - before["misses"] == frame.num_columns - 1
+        assert after["hits"] - before["hits"] == n_pairs - (
+            frame.num_columns - 1
+        )
+        cold = detector.fitted_model(repaired, tokens2, store=None)
+        assert set(warm._pairs) == set(cold._pairs)
+        for pair in cold._pairs:
+            for warm_arr, cold_arr in zip(warm._pairs[pair], cold._pairs[pair]):
+                assert np.array_equal(warm_arr, cold_arr), pair

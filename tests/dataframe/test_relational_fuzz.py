@@ -4,11 +4,16 @@ operators (:mod:`repro.dataframe.joins`).
 Seeded random schemas — mixed dtypes, varying null rates, narrow key
 cardinalities (forcing collisions), adversarial chunk sizes (1, 2, 257,
 n±1) and spilled legs at a 512-byte budget — drive every join variant
-(inner/left/outer × memory/partitioned/merge) and the grouped
-aggregation pushdown, asserting each leg bit-identical to the retained
-pure-Python reference in ``test_relational_equivalence``: same values,
-same Python types, same dtypes, same ordering — and for invalid inputs,
-the same exception type on every leg.
+(inner/left/outer × memory/partitioned/merge/sortmerge), the external
+merge sort (every leg bit-identical to the in-memory ``ops.sort_by``
+kernel, including descending, multi-key, and all-None keys), and the
+grouped aggregation pushdown, asserting each leg bit-identical to the
+retained pure-Python reference in ``test_relational_equivalence``: same
+values, same Python types, same dtypes, same ordering — and for invalid
+inputs, the same exception type on every leg. Out-of-core legs assert
+residency (inputs and sorted outputs still spilled, peak resident bytes
+within budget) *before* any dense value comparison — a dense access
+materializes and releases shards by design, so the order matters.
 """
 
 from __future__ import annotations
@@ -20,9 +25,12 @@ import test_relational_equivalence as ref
 from repro.dataframe import (
     DataFrame,
     SpillStore,
+    external_sort_by,
     group_by,
     inner_join,
+    is_sorted_on,
     join,
+    resolve_join_strategy,
     sort_by,
     spill_frame,
 )
@@ -137,9 +145,10 @@ class TestJoinFuzz:
         for how, reference_join in REFERENCE_JOINS.items():
             expected = reference_join(left, right, on=keys)
             # Fresh legs per strategy: the memory strategy densifies key
-            # columns (releasing their spill, by design); partitioned is
-            # the strategy that must leave the inputs spilled.
-            for strategy in ("memory", "partitioned"):
+            # columns (releasing their spill, by design); partitioned
+            # and sortmerge are the strategies that must leave the
+            # inputs spilled.
+            for strategy in ("memory", "partitioned", "sortmerge"):
                 left_legs = _legs(left)
                 right_legs = _legs(right)
                 pairs = [(name, name) for name in left_legs]
@@ -156,7 +165,7 @@ class TestJoinFuzz:
                         n_partitions=3,
                     )
                     ref._assert_frames_identical(actual, expected)
-                    if strategy != "partitioned":
+                    if strategy not in ("partitioned", "sortmerge"):
                         continue
                     for frame, name, store in (
                         (left_frame, left_name, left_store),
@@ -185,6 +194,145 @@ class TestJoinFuzz:
                     left_frame, right_frame, keys, how=how, strategy="merge"
                 )
                 ref._assert_frames_identical(actual, expected)
+
+
+@pytest.mark.parametrize("seed,n_left,n_right,n_keys", CASES)
+class TestExternalSortFuzz:
+    """External merge sort is bit-identical to the in-memory kernel.
+
+    ``ops.sort_by`` on the monolithic frame is the anchor: same values,
+    same Python types, same dtypes, same ordering (stability across tie
+    groups included — narrow key pools force large tie runs). The
+    spilled leg additionally asserts residency *before* any dense read:
+    input and output still spilled, peak resident bytes within budget.
+    """
+
+    def _frame_and_keys(self, make_values, seed, n, n_keys):
+        rng = np.random.default_rng(seed + 30_000)
+        key_dtypes = [str(rng.choice(KEY_POOL)) for _ in range(n_keys)]
+        frame = _random_frame(
+            make_values, seed * 31 + 4, n, key_dtypes, prefix="l"
+        )
+        return frame, [f"k{j}" for j in range(n_keys)]
+
+    def test_external_sort_all_legs_bit_identical(
+        self, random_values, seed, n_left, n_right, n_keys
+    ):
+        frame, keys = self._frame_and_keys(
+            random_values, seed, n_left, n_keys
+        )
+        for columns in (keys, keys[:1], []):
+            for descending in (False, True):
+                expected = sort_by(frame, columns, descending=descending)
+                for name, (leg, store) in _legs(frame).items():
+                    actual = external_sort_by(
+                        leg, columns, descending=descending
+                    )
+                    if store is not None:
+                        label = (name, tuple(columns), descending)
+                        # Residency first: dense reads release shards.
+                        _assert_still_spilled(leg, label)
+                        _assert_still_spilled(actual, label)
+                        stats = store.stats()
+                        assert (
+                            stats["peak_resident_bytes"] <= SPILL_BUDGET
+                        ), label
+                    ref._assert_frames_identical(actual, expected)
+
+    def test_strategy_seam_routes_spilled_frames_externally(
+        self, random_values, seed, n_left, n_right, n_keys
+    ):
+        frame, keys = self._frame_and_keys(
+            random_values, seed, n_left, n_keys
+        )
+        expected = sort_by(frame, keys)
+        store = SpillStore(budget_bytes=SPILL_BUDGET)
+        spilled = spill_frame(frame, store, chunk_size=7)
+        actual = sort_by(spilled, keys)  # auto → external on spilled
+        _assert_still_spilled(spilled, "auto-input")
+        _assert_still_spilled(actual, "auto-output")
+        assert store.stats()["peak_resident_bytes"] <= SPILL_BUDGET
+        ref._assert_frames_identical(actual, expected)
+
+    def test_sortmerge_routing_equivalence(
+        self, random_values, seed, n_left, n_right, n_keys, monkeypatch
+    ):
+        """Auto picks a merge plan out-of-core, matching partitioned.
+
+        A spilled frame already sorted on the key routes ``auto`` to
+        ``sortmerge``; the result must be bit-identical to the
+        partitioned-hash plan over the same inputs. The subject is the
+        auto-router itself, so the CI legs that force a strategy via
+        the environment are neutralized here.
+        """
+        monkeypatch.delenv("DATALENS_JOIN_STRATEGY", raising=False)
+        rng = np.random.default_rng(seed + 40_000)
+        key_dtypes = [str(rng.choice(KEY_POOL)) for _ in range(n_keys)]
+        left = sort_by(
+            _random_frame(
+                random_values, seed * 31 + 5, n_left, key_dtypes, prefix="l"
+            ),
+            [f"k{j}" for j in range(n_keys)],
+        )
+        right = _random_frame(
+            random_values, seed * 31 + 6, n_right, key_dtypes, prefix="r"
+        )
+        keys = [f"k{j}" for j in range(n_keys)]
+        for how in ("inner", "left", "outer"):
+            expected = join(left, right, keys, how=how, strategy="partitioned")
+            store = SpillStore(budget_bytes=SPILL_BUDGET)
+            left_leg = spill_frame(left, store, chunk_size=7)
+            right_leg = spill_frame(
+                right, SpillStore(budget_bytes=SPILL_BUDGET), chunk_size=7
+            )
+            if n_left:  # empty frames spill as plain columns
+                assert (
+                    resolve_join_strategy(None, left_leg, right_leg, on=keys)
+                    == "sortmerge"
+                )
+            actual = join(left_leg, right_leg, keys, how=how)
+            _assert_still_spilled(left_leg, how)
+            _assert_still_spilled(right_leg, how)
+            assert store.stats()["peak_resident_bytes"] <= SPILL_BUDGET
+            ref._assert_frames_identical(actual, expected)
+
+
+class TestExternalSortEdges:
+    def test_all_none_keys_preserve_input_order(self):
+        frame = DataFrame.from_dict(
+            {"k": [None] * 9, "v": list(range(9))}
+        )
+        for descending in (False, True):
+            expected = sort_by(frame, ["k"], descending=descending)
+            store = SpillStore(budget_bytes=SPILL_BUDGET)
+            leg = spill_frame(frame, store, chunk_size=2)
+            actual = external_sort_by(leg, ["k"], descending=descending)
+            _assert_still_spilled(actual, "all-none")
+            ref._assert_frames_identical(actual, expected)
+            assert actual.column("v").values() == list(range(9))
+
+    def test_unknown_sort_column_raises_keyerror_everywhere(self):
+        frame = DataFrame.from_dict({"k": [3, 1, 2]})
+        for leg, _ in _legs(frame).values():
+            with pytest.raises(KeyError):
+                external_sort_by(leg, ["ghost"])
+
+    def test_is_sorted_probe_does_not_pin_spilled_shards(self):
+        """Sortedness probing is a streaming scan: the spilled columns
+        must stay spilled and the peak must stay within budget."""
+        frame = sort_by(
+            DataFrame.from_dict(
+                {"k": [5, 1, 4, 1, 3, 2, 2, 5, 0, 4, 1], "v": list(range(11))}
+            ),
+            ["k"],
+        )
+        store = SpillStore(budget_bytes=SPILL_BUDGET)
+        leg = spill_frame(frame, store, chunk_size=2)
+        assert is_sorted_on(leg, ["k"])
+        # A failing probe (early False) must not pin shards either.
+        assert not is_sorted_on(leg, ["v"])
+        _assert_still_spilled(leg, "probe")
+        assert store.stats()["peak_resident_bytes"] <= SPILL_BUDGET
 
 
 @pytest.mark.parametrize("seed,n_left,n_right,n_keys", CASES)
@@ -344,3 +492,22 @@ class TestEnvStrategyOverride:
         right = DataFrame.from_dict({"k": [2], "b": [3]})
         joined = join(left, right, ["k"], strategy="memory")
         assert joined.num_rows == 1
+
+    def test_sort_env_forces_external(self, monkeypatch):
+        monkeypatch.setenv("DATALENS_SORT_STRATEGY", "external")
+        frame = DataFrame.from_dict({"k": [3, 1, None, 2], "v": [0, 1, 2, 3]})
+        actual = sort_by(frame, ["k"])
+        # Forced-external output of a dense input is still spill-backed.
+        _assert_still_spilled(actual, "env-external")
+        ref._assert_frames_identical(actual, sort_by(frame, ["k"], strategy="memory"))
+
+    def test_sort_env_rejects_unknown_strategy(self, monkeypatch):
+        monkeypatch.setenv("DATALENS_SORT_STRATEGY", "bogus")
+        frame = DataFrame.from_dict({"k": [2, 1]})
+        with pytest.raises(ValueError, match="sort strategy"):
+            sort_by(frame, ["k"])
+
+    def test_sort_explicit_strategy_beats_env(self, monkeypatch):
+        monkeypatch.setenv("DATALENS_SORT_STRATEGY", "bogus")
+        frame = DataFrame.from_dict({"k": [2, 1]})
+        assert sort_by(frame, ["k"], strategy="memory").column("k").values() == [1, 2]

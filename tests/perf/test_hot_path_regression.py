@@ -163,11 +163,41 @@ def test_inner_join_stays_vectorized(synthetic_frame):
 
 
 def test_sort_by_stays_vectorized(synthetic_frame):
-    elapsed = _best_of(lambda: sort_by(synthetic_frame, ["group", "code"]))
-    ordered = sort_by(synthetic_frame, ["group", "code"], descending=True)
+    # Pinned to the memory kernel: this budget guards the vectorized
+    # in-RAM path even when DATALENS_SORT_STRATEGY=external is forced
+    # suite-wide (the external plan has its own budget below).
+    elapsed = _best_of(
+        lambda: sort_by(synthetic_frame, ["group", "code"], strategy="memory")
+    )
+    ordered = sort_by(
+        synthetic_frame, ["group", "code"], descending=True, strategy="memory"
+    )
     assert ordered.num_rows == N_ROWS
     # Vectorized: ~0.023s here; per-row key tuples cost several times more.
     assert elapsed < 0.12, f"sort_by took {elapsed:.3f}s on 50k rows"
+
+
+def test_external_sort_stays_run_based(synthetic_frame):
+    """The out-of-core sort must stay run + block based, not per-row.
+
+    A generous ceiling — run generation is the vectorized memory kernel
+    per batch and the merge walks equal-key blocks, so 50k rows sort in
+    ~1s even through a tiny spill store; a per-row merge loop would
+    cost an order of magnitude more.
+    """
+    from repro.dataframe import SpillStore, external_sort_by
+
+    def run():
+        store = SpillStore(budget_bytes=1 << 20)
+        try:
+            return external_sort_by(
+                synthetic_frame, ["group", "code"], store=store
+            )
+        finally:
+            store.close()
+
+    elapsed = _best_of(run)
+    assert elapsed < 10.0, f"external sort took {elapsed:.3f}s on 50k rows"
 
 
 @pytest.fixture(scope="module")
