@@ -13,12 +13,18 @@ from .http import (
 )
 from .jobs import (
     DEFAULT_WORKERS,
+    JOB_QUEUE_DEPTH_ENV,
+    JOB_RETRIES_ENV,
     Job,
     JobNotFoundError,
     JobQueue,
+    JobQueueClosedError,
+    JobQueueFullError,
     LockRegistry,
     RWLock,
     SERVER_WORKERS_ENV,
+    resolve_job_retries,
+    resolve_queue_depth,
     resolve_worker_count,
 )
 
@@ -26,9 +32,13 @@ __all__ = [
     "AsyncHTTPServer",
     "DEFAULT_WORKERS",
     "HTTPError",
+    "JOB_QUEUE_DEPTH_ENV",
+    "JOB_RETRIES_ENV",
     "Job",
     "JobNotFoundError",
     "JobQueue",
+    "JobQueueClosedError",
+    "JobQueueFullError",
     "LockRegistry",
     "RWLock",
     "Request",
@@ -38,6 +48,8 @@ __all__ = [
     "TenantRegistry",
     "TestClient",
     "create_app",
+    "resolve_job_retries",
+    "resolve_queue_depth",
     "resolve_worker_count",
     "sanitize_json",
     "serve",

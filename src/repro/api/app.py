@@ -57,6 +57,53 @@ Async vs sync mode
     error detail. Without the flag the call is synchronous and
     identical to the historical behavior.
 
+    Jobs that fail with a *transient* error (connection resets,
+    timeouts, injected :class:`~repro.core.faults.TransientFaultError`)
+    are retried automatically with exponential backoff + jitter, up to
+    ``DATALENS_JOB_RETRIES`` extra attempts (default 2); between
+    attempts the job polls as ``retrying``, and every attempt's error,
+    timing, and backoff is listed under ``attempts`` in the
+    ``GET /jobs/{id}`` payload. A job still queued when the server
+    shuts down polls as ``failed`` with a ``cancelled`` error.
+
+Overload & degradation
+    The serving path sheds load instead of queueing unboundedly:
+
+    * ``429`` + ``Retry-After`` — the job queue is at its depth bound
+      (``DATALENS_JOB_QUEUE_DEPTH`` active jobs, default 256).
+    * ``503`` + ``Retry-After`` — the per-request deadline
+      (``DATALENS_REQUEST_TIMEOUT`` seconds, unset = none) elapsed
+      before the handler finished, the server is draining for
+      shutdown, or a transient fault surfaced; all are safe to retry.
+    * ``507`` — storage exhaustion: the spill directory
+      (:class:`~repro.dataframe.spill.SpillCapacityError`) or artifact
+      cache (:class:`~repro.core.artifacts.ArtifactCapacityError`) is
+      out of space.
+    * ``500`` — a spilled shard failed its checksum
+      (:class:`~repro.dataframe.spill.SpillError` names the shard and
+      path): the server *refuses* to serve data it cannot verify.
+
+    Every error above is a JSON body with a ``detail`` key — overload
+    never surfaces as a hung socket or a non-JSON reply. Graceful
+    shutdown (``shutdown(drain_timeout=…)`` on both the HTTP server and
+    the job queue) stops intake, drains in-flight requests and running
+    jobs up to the deadline, then force-cancels the remainder.
+
+Fault injection (chaos testing)
+    Setting ``DATALENS_FAULT_INJECT`` activates deterministic fault
+    injection at named sites (``spill.read``, ``spill.write``,
+    ``spill.evict``, ``artifact.get``, ``artifact.put``,
+    ``ingest.chunk``, ``job.run``, ``http.write``). The spec grammar is
+    ``rule(;rule)*`` with comma-separated ``key=value`` fields:
+    ``site=<fnmatch pattern>`` (required), ``error=transient|fault|
+    oserror|enospc|timeout|connection``, ``prob=<0..1>`` (seeded RNG),
+    ``count=<max fires>``, ``after=<skip first N>``,
+    ``latency=<seconds>``, ``seed=<int>`` — e.g.
+    ``site=spill.*,error=transient,prob=0.01,seed=7``. Transient faults
+    at storage sites are absorbed by bounded internal retries
+    (``DATALENS_IO_RETRIES``), so responses stay bit-identical to a
+    fault-free run; see :mod:`repro.core.faults`.
+
 Concurrency model
     Each ``(tenant, dataset)`` pair has a reader/writer lock: read-only
     requests run concurrently while mutating requests (ingest, detect,
@@ -89,10 +136,15 @@ Error semantics
 
 Environment knobs
     ``DATALENS_SERVER_WORKERS`` — job-pool *and* HTTP-dispatch worker
-    count (default 4). The chunk/spill knobs of the underlying
-    controller (``DATALENS_DEFAULT_CHUNK_SIZE``,
-    ``DATALENS_SPILL_BUDGET``, ``DATALENS_SPILL_DIR``,
-    ``DATALENS_ARTIFACT_CACHE*``) apply to uploads as usual.
+    count (default 4); ``DATALENS_JOB_QUEUE_DEPTH`` — active-job bound
+    before 429s (default 256); ``DATALENS_JOB_RETRIES`` — transient-job
+    retry budget (default 2); ``DATALENS_REQUEST_TIMEOUT`` — per-request
+    deadline in seconds (unset = none); ``DATALENS_FAULT_INJECT`` /
+    ``DATALENS_IO_RETRIES`` — chaos spec and storage retry budget. The
+    chunk/spill knobs of the underlying controller
+    (``DATALENS_DEFAULT_CHUNK_SIZE``, ``DATALENS_SPILL_BUDGET``,
+    ``DATALENS_SPILL_DIR``, ``DATALENS_ARTIFACT_CACHE*``) apply to
+    uploads as usual.
 """
 
 from __future__ import annotations
@@ -102,9 +154,18 @@ import re
 from typing import Any, Callable
 
 from ..core import ArtifactStore, DataLens, DatasetNotFoundError
+from ..core.artifacts import ArtifactCapacityError
+from ..core.faults import TransientFaultError
 from ..dataframe import DataFrame, read_csv_text
-from .http import HTTPError, Request, Response, Router
-from .jobs import JobNotFoundError, JobQueue, LockRegistry
+from ..dataframe.spill import SpillCapacityError, SpillError
+from .http import RETRY_AFTER_SECONDS, HTTPError, Request, Response, Router
+from .jobs import (
+    JobNotFoundError,
+    JobQueue,
+    JobQueueClosedError,
+    JobQueueFullError,
+    LockRegistry,
+)
 
 DEFAULT_TENANT = "default"
 TENANT_HEADER = "x-tenant"
@@ -262,6 +323,20 @@ def create_app(
     router.tenants = registry
     router.map_exception(DatasetNotFoundError, 404)
     router.map_exception(JobNotFoundError, 404)
+    # Degradation mappings (subclasses before their bases): overload and
+    # shutdown answer with Retry-After so well-behaved clients back off;
+    # storage exhaustion is 507 Insufficient Storage; a corrupt spilled
+    # shard is a server-side data fault (500), never silently wrong data.
+    router.map_exception(JobQueueFullError, 429, retry_after=RETRY_AFTER_SECONDS)
+    router.map_exception(
+        JobQueueClosedError, 503, retry_after=RETRY_AFTER_SECONDS
+    )
+    router.map_exception(
+        TransientFaultError, 503, retry_after=RETRY_AFTER_SECONDS
+    )
+    router.map_exception(SpillCapacityError, 507)
+    router.map_exception(ArtifactCapacityError, 507)
+    router.map_exception(SpillError, 500)
 
     # -- shared plumbing ------------------------------------------------
     def _session(request: Request):

@@ -43,6 +43,7 @@ import io
 import json
 import logging
 import math
+import os
 import re
 import threading
 from collections import deque
@@ -51,12 +52,41 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from ..core import faults as _faults
 from .jobs import resolve_worker_count
 
 logger = logging.getLogger(__name__)
 
 #: Request bodies with this content type are streamed to the handler.
 STREAMING_CONTENT_TYPES = ("text/csv",)
+
+#: Environment variable holding the per-request handler deadline in
+#: seconds; a handler still running at the deadline gets its request
+#: answered with ``503`` + ``Retry-After`` (unset = no deadline).
+REQUEST_TIMEOUT_ENV = "DATALENS_REQUEST_TIMEOUT"
+
+#: ``Retry-After`` seconds advertised on overload/deadline responses.
+RETRY_AFTER_SECONDS = 1
+
+
+def resolve_request_timeout(timeout: float | None = None) -> float | None:
+    """Explicit ``timeout``, else ``DATALENS_REQUEST_TIMEOUT``, else None."""
+    if timeout is not None:
+        if timeout <= 0:
+            raise ValueError(f"request timeout must be > 0, got {timeout}")
+        return timeout
+    raw = os.environ.get(REQUEST_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid number for {REQUEST_TIMEOUT_ENV}: {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{REQUEST_TIMEOUT_ENV} must be > 0, got {value}")
+    return value
 
 
 def sanitize_json(value: Any) -> Any:
@@ -98,10 +128,15 @@ class Request:
 
 @dataclass
 class Response:
-    """JSON response payload."""
+    """JSON response payload.
+
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on
+    429/503 overload replies) merged after the framework's own.
+    """
 
     status: int = 200
     body: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
 
     def to_bytes(self) -> bytes:
         # allow_nan=False backstops the sanitizer: a non-finite float
@@ -115,10 +150,16 @@ class Response:
 class HTTPError(Exception):
     """Raise inside handlers to produce a non-200 JSON error response."""
 
-    def __init__(self, status: int, detail: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        detail: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail
+        self.headers = headers or {}
 
 
 Handler = Callable[[Request], "Response | dict | list"]
@@ -143,7 +184,7 @@ class Router:
 
     def __init__(self) -> None:
         self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
-        self._error_map: list[tuple[type, int]] = []
+        self._error_map: list[tuple[type, int, float | None]] = []
 
     def add(self, method: str, template: str, handler: Handler) -> None:
         self._routes.append(
@@ -170,18 +211,29 @@ class Router:
         return register
 
     # ------------------------------------------------------------------
-    def map_exception(self, exc_type: type, status: int) -> None:
+    def map_exception(
+        self,
+        exc_type: type,
+        status: int,
+        retry_after: float | None = None,
+    ) -> None:
         """Map a typed handler exception to an HTTP status.
 
         Registered mappings win over the built-in defaults and are
         checked in registration order (register subclasses first).
+        ``retry_after`` adds a ``Retry-After`` header to the response —
+        use it for transient conditions (overload, shutdown) the client
+        should simply retry.
         """
-        self._error_map.append((exc_type, status))
+        self._error_map.append((exc_type, status, retry_after))
 
-    def _status_for(self, error: Exception) -> int | None:
-        for exc_type, status in (*self._error_map, *self._DEFAULT_ERROR_MAP):
+    def _status_for(self, error: Exception) -> tuple[int, float | None] | None:
+        for exc_type, status, retry_after in self._error_map:
             if isinstance(error, exc_type):
-                return status
+                return status, retry_after
+        for exc_type, status in self._DEFAULT_ERROR_MAP:
+            if isinstance(error, exc_type):
+                return status, None
         return None
 
     # ------------------------------------------------------------------
@@ -206,13 +258,21 @@ class Router:
             try:
                 outcome = handler(request)
             except HTTPError as error:
-                return Response(error.status, {"detail": error.detail})
+                return Response(
+                    error.status, {"detail": error.detail}, dict(error.headers)
+                )
             except Exception as error:  # noqa: BLE001 — mapped below; an
                 # unmapped exception is a handler bug and must surface as
                 # a 500 JSON body, not a dead socket or a bogus 404.
-                status = self._status_for(error)
-                if status is not None:
-                    return Response(status, {"detail": str(error)})
+                mapped = self._status_for(error)
+                if mapped is not None:
+                    status, retry_after = mapped
+                    headers = (
+                        {"Retry-After": str(int(retry_after))}
+                        if retry_after is not None
+                        else {}
+                    )
+                    return Response(status, {"detail": str(error)}, headers)
                 logger.exception(
                     "unhandled error in handler for %s %s",
                     request.method,
@@ -322,10 +382,21 @@ class AsyncHTTPServer:
     ``ThreadingHTTPServer`` spent one OS thread per in-flight request
     *and* ran handlers on it). ``server_address`` and ``shutdown()``
     keep the stdlib server's management surface.
+
+    Degradation contract: every socket read (request line, headers,
+    body) is bounded by ``KEEPALIVE_TIMEOUT``, so a stalled client can
+    never pin a connection; ``request_timeout`` (or
+    ``DATALENS_REQUEST_TIMEOUT``) bounds handler execution — a request
+    over the deadline is answered ``503`` + ``Retry-After`` and the
+    connection closed (the worker thread finishes in the background).
+    ``shutdown(drain_timeout=)`` stops accepting connections, lets
+    in-flight requests finish up to the deadline, then force-cancels —
+    it returns True when everything drained cleanly.
     """
 
     KEEPALIVE_TIMEOUT = 30.0
     READ_CHUNK = 1 << 16
+    DEFAULT_DRAIN_TIMEOUT = 5.0
 
     def __init__(
         self,
@@ -333,10 +404,12 @@ class AsyncHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         max_workers: int | None = None,
+        request_timeout: float | None = None,
     ) -> None:
         self.router = router
         self._host = host
         self._port = port
+        self.request_timeout = resolve_request_timeout(request_timeout)
         self._pool = ThreadPoolExecutor(
             max_workers=resolve_worker_count(max_workers),
             thread_name_prefix="datalens-http",
@@ -346,6 +419,11 @@ class AsyncHTTPServer:
         self._stop: asyncio.Event | None = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
+        self._drain_timeout = self.DEFAULT_DRAIN_TIMEOUT
+        self._drained = True
         self._thread = threading.Thread(
             target=self._run_loop, name="datalens-http-loop", daemon=True
         )
@@ -358,15 +436,26 @@ class AsyncHTTPServer:
             raise self._startup_error
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_timeout: float | None = None) -> bool:
+        """Stop the server, draining in-flight requests first.
+
+        In-flight requests get ``drain_timeout`` seconds (default
+        :data:`DEFAULT_DRAIN_TIMEOUT`) to complete; idle keep-alive
+        connections are closed immediately, and whatever is still
+        running at the deadline is cancelled. Returns True when every
+        in-flight request finished before the deadline.
+        """
+        if drain_timeout is not None:
+            self._drain_timeout = max(0.0, drain_timeout)
         loop, stop = self._loop, self._stop
         if loop is not None and stop is not None and not loop.is_closed():
             try:
                 loop.call_soon_threadsafe(stop.set)
             except RuntimeError:  # loop already closing
                 pass
-        self._thread.join(timeout=10)
-        self._pool.shutdown(wait=False)
+        self._thread.join(timeout=self._drain_timeout + 10)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        return self._drained
 
     # ------------------------------------------------------------------
     def _run_loop(self) -> None:
@@ -392,11 +481,32 @@ class AsyncHTTPServer:
         self._started.set()
         async with server:
             await self._stop.wait()
+            # Graceful drain: stop accepting, close idle keep-alive
+            # connections, give in-flight requests until the deadline,
+            # then cancel whatever is left.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            for task in tuple(self._conn_tasks):
+                if task not in self._inflight:
+                    task.cancel()
+            deadline = self._loop.time() + self._drain_timeout
+            while self._inflight and self._loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            self._drained = not self._inflight
+            for task in tuple(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
 
     # ------------------------------------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
         try:
             while True:
                 close = await self._handle_one(reader, writer)
@@ -412,6 +522,8 @@ class AsyncHTTPServer:
         except Exception:  # pragma: no cover — defensive: never kill the loop
             logger.exception("connection handler failed")
         finally:
+            self._conn_tasks.discard(task)
+            self._inflight.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -427,6 +539,32 @@ class AsyncHTTPServer:
         )
         if not request_line:
             return True
+        # From here the connection is serving a request: the graceful
+        # drain waits for it instead of cancelling it.
+        task = asyncio.current_task()
+        self._inflight.add(task)
+        try:
+            return await self._serve_request(request_line, reader, writer)
+        finally:
+            self._inflight.discard(task)
+
+    async def _serve_request(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        if self._draining:
+            await self._write_response(
+                writer,
+                Response(
+                    503,
+                    {"detail": "server is shutting down"},
+                    {"Retry-After": str(RETRY_AFTER_SECONDS)},
+                ),
+                True,
+            )
+            return True
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3:
             await self._write_response(
@@ -436,7 +574,12 @@ class AsyncHTTPServer:
         method, target, version = parts
         headers: dict[str, str] = {}
         while True:
-            line = await reader.readline()
+            # Bounded like the request line: a client trickling headers
+            # (or stalling mid-request) times the connection out instead
+            # of holding it open forever.
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.KEEPALIVE_TIMEOUT
+            )
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -474,7 +617,9 @@ class AsyncHTTPServer:
             close = True
         else:
             if length:
-                raw = await reader.readexactly(length)
+                raw = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self.KEEPALIVE_TIMEOUT
+                )
                 if content_type in ("", "application/json"):
                     try:
                         request.body = json.loads(raw)
@@ -487,15 +632,36 @@ class AsyncHTTPServer:
                         return close
                 else:
                     request.body = raw.decode("utf-8", errors="replace")
-            response = await self._dispatch(request)
+            try:
+                response = await self._dispatch(request)
+            except TimeoutError:
+                # The worker thread finishes in the background; its
+                # result is discarded. The client gets a retryable 503.
+                response = self._deadline_response()
+                close = True
         await self._write_response(writer, response, close)
         return close
 
+    def _deadline_response(self) -> Response:
+        return Response(
+            503,
+            {
+                "detail": (
+                    f"request exceeded the {self.request_timeout}s "
+                    "deadline; retry shortly"
+                )
+            },
+            {"Retry-After": str(RETRY_AFTER_SECONDS)},
+        )
+
     async def _dispatch(self, request: Request) -> Response:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
+        dispatched = loop.run_in_executor(
             self._pool, self.router.dispatch, request
         )
+        if self.request_timeout is not None:
+            return await asyncio.wait_for(dispatched, self.request_timeout)
+        return await dispatched
 
     async def _dispatch_streaming(
         self, request: Request, reader: asyncio.StreamReader, length: int
@@ -508,7 +674,13 @@ class AsyncHTTPServer:
         )
         pump = asyncio.ensure_future(self._pump_body(reader, stream, length))
         try:
+            if self.request_timeout is not None:
+                return await asyncio.wait_for(
+                    dispatched, self.request_timeout
+                )
             return await dispatched
+        except TimeoutError:
+            return self._deadline_response()
         finally:
             pump.cancel()
             try:
@@ -526,7 +698,10 @@ class AsyncHTTPServer:
         remaining = length
         try:
             while remaining > 0:
-                chunk = await reader.read(min(self.READ_CHUNK, remaining))
+                chunk = await asyncio.wait_for(
+                    reader.read(min(self.READ_CHUNK, remaining)),
+                    timeout=self.KEEPALIVE_TIMEOUT,
+                )
                 if not chunk:
                     break  # client went away; handler sees a short body
                 remaining -= len(chunk)
@@ -537,13 +712,22 @@ class AsyncHTTPServer:
     async def _write_response(
         self, writer: asyncio.StreamWriter, response: Response, close: bool
     ) -> None:
+        # Fault site for chaos testing: an injected error here models a
+        # failed response write — the connection drops (clients retry),
+        # a half-written JSON body is never emitted.
+        _faults.maybe_fire("http.write")
         payload = response.to_bytes()
         reason = http.client.responses.get(response.status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in response.headers.items()
+        )
         head = (
             f"HTTP/1.1 {response.status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + payload)
@@ -555,8 +739,13 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     max_workers: int | None = None,
+    request_timeout: float | None = None,
 ) -> AsyncHTTPServer:
     """Start a background async HTTP server; caller calls ``shutdown()``."""
     return AsyncHTTPServer(
-        router, host=host, port=port, max_workers=max_workers
+        router,
+        host=host,
+        port=port,
+        max_workers=max_workers,
+        request_timeout=request_timeout,
     ).start()

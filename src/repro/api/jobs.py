@@ -10,13 +10,31 @@ heavy pipeline work runs elsewhere:
     event loop. ``POST …?async=1`` submits a job and returns ``202``
     with a job id; ``GET /jobs/{id}`` polls it. Job lifecycle::
 
-        queued ──> running ──> done    (result carries the payload)
-                          └──> failed  (error carries the detail)
+        queued ──> running ──> done      (result carries the payload)
+                     │   └───> failed    (error carries the detail)
+                     └─> retrying ──> running ──> …
 
     The worker count comes from the ``workers`` argument, else the
     ``DATALENS_SERVER_WORKERS`` environment variable, else
     :data:`DEFAULT_WORKERS`. Finished jobs are retained (newest first)
     up to ``max_retained`` so polls after completion still answer.
+
+    Overload and failure handling:
+
+    * The queue is **depth-bounded** (``DATALENS_JOB_QUEUE_DEPTH``,
+      default 256 active jobs): submitting beyond the bound raises
+      :class:`JobQueueFullError`, which the REST layer maps to ``429`` +
+      ``Retry-After`` instead of queueing unboundedly.
+    * Jobs failing with a **transient** error (see
+      :func:`repro.core.faults.is_transient`) are retried automatically
+      with exponential backoff + seeded jitter, up to
+      ``DATALENS_JOB_RETRIES`` extra attempts (default 2); every attempt
+      is recorded in ``Job.attempts`` and visible via ``GET /jobs/{id}``.
+    * :meth:`JobQueue.shutdown` with a ``drain_timeout`` stops accepting
+      (:class:`JobQueueClosedError` → ``503``), waits for active jobs up
+      to the deadline, fails whatever is still queued with a
+      ``cancelled`` error, then force-cancels the pool — no silently
+      abandoned work.
 
 ``RWLock`` / ``LockRegistry``
     Per-dataset reader/writer locks: any number of read-only requests
@@ -30,6 +48,7 @@ heavy pipeline work runs elsewhere:
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 import uuid
@@ -38,13 +57,60 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterator
 
+from ..core import faults as _faults
+
 SERVER_WORKERS_ENV = "DATALENS_SERVER_WORKERS"
 DEFAULT_WORKERS = 4
 
+#: Environment variable bounding concurrently active (queued + running +
+#: retrying) jobs; submits beyond it raise :class:`JobQueueFullError`.
+JOB_QUEUE_DEPTH_ENV = "DATALENS_JOB_QUEUE_DEPTH"
+DEFAULT_QUEUE_DEPTH = 256
+
+#: Environment variable setting how many extra attempts a job failing
+#: with a *transient* error gets (0 disables retries).
+JOB_RETRIES_ENV = "DATALENS_JOB_RETRIES"
+DEFAULT_JOB_RETRIES = 2
+
 QUEUED = "queued"
 RUNNING = "running"
+RETRYING = "retrying"
 DONE = "done"
 FAILED = "failed"
+
+#: Statuses that count against the queue-depth bound.
+ACTIVE_STATUSES = (QUEUED, RUNNING, RETRYING)
+
+
+def _resolve_positive_int(env: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"invalid integer for {env}: {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{env} must be >= {minimum}, got {value}")
+    return value
+
+
+def resolve_queue_depth(depth: int | None = None) -> int:
+    """Explicit ``depth``, else ``DATALENS_JOB_QUEUE_DEPTH``, else 256."""
+    if depth is not None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        return depth
+    return _resolve_positive_int(JOB_QUEUE_DEPTH_ENV, DEFAULT_QUEUE_DEPTH, 1)
+
+
+def resolve_job_retries(retries: int | None = None) -> int:
+    """Explicit ``retries``, else ``DATALENS_JOB_RETRIES``, else 2."""
+    if retries is not None:
+        if retries < 0:
+            raise ValueError(f"job retries must be >= 0, got {retries}")
+        return retries
+    return _resolve_positive_int(JOB_RETRIES_ENV, DEFAULT_JOB_RETRIES, 0)
 
 
 def resolve_worker_count(workers: int | None = None) -> int:
@@ -65,6 +131,24 @@ def resolve_worker_count(workers: int | None = None) -> int:
     if value < 1:
         raise ValueError(f"{SERVER_WORKERS_ENV} must be >= 1, got {value}")
     return value
+
+
+class JobQueueFullError(RuntimeError):
+    """The queue is at its depth bound (mapped to HTTP 429 + Retry-After)."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth} active jobs); retry shortly or "
+            f"raise {JOB_QUEUE_DEPTH_ENV}"
+        )
+        self.depth = depth
+
+
+class JobQueueClosedError(RuntimeError):
+    """The queue is shutting down and accepts no new work (HTTP 503)."""
+
+    def __init__(self) -> None:
+        super().__init__("job queue is shutting down; no new work accepted")
 
 
 class JobNotFoundError(KeyError):
@@ -92,6 +176,10 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: One record per failed attempt: ``{"attempt", "error",
+    #: "started_at", "finished_at", "backoff_seconds"}`` —
+    #: ``backoff_seconds`` is None on the final (non-retried) failure.
+    attempts: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -103,6 +191,7 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "attempts": [dict(record) for record in self.attempts],
         }
         if self.status == DONE:
             payload["result"] = self.result
@@ -121,18 +210,33 @@ class JobQueue:
     """
 
     def __init__(
-        self, workers: int | None = None, max_retained: int = 512
+        self,
+        workers: int | None = None,
+        max_retained: int = 512,
+        max_depth: int | None = None,
+        retries: int | None = None,
+        retry_base_delay: float = 0.05,
     ) -> None:
         self.workers = resolve_worker_count(workers)
         if max_retained < 1:
             raise ValueError(f"max_retained must be >= 1, got {max_retained}")
         self._max_retained = max_retained
+        self.max_depth = resolve_queue_depth(max_depth)
+        self.retries = resolve_job_retries(retries)
+        self.retry_base_delay = retry_base_delay
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="datalens-job"
         )
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
+        self._accepting = True
+        self.rejected_full = 0
+        self.rejected_closed = 0
+        self.retried_attempts = 0
+        # Seeded so backoff jitter — and thus chaos-suite timing — is
+        # reproducible run to run.
+        self._jitter_rng = random.Random(0)
 
     # ------------------------------------------------------------------
     def submit(
@@ -142,35 +246,91 @@ class JobQueue:
         dataset: str | None = None,
         tenant: str = "default",
     ) -> Job:
-        """Queue ``work`` on the pool; returns the (still queued) job."""
+        """Queue ``work`` on the pool; returns the (still queued) job.
+
+        Raises :class:`JobQueueClosedError` once :meth:`shutdown` has
+        begun and :class:`JobQueueFullError` when active (queued /
+        running / retrying) jobs have reached ``max_depth``.
+        """
         job = Job(id=uuid.uuid4().hex, kind=kind, dataset=dataset, tenant=tenant)
         with self._lock:
+            if not self._accepting:
+                self.rejected_closed += 1
+                raise JobQueueClosedError()
+            active = sum(
+                1
+                for existing in self._jobs.values()
+                if existing.status in ACTIVE_STATUSES
+            )
+            if active >= self.max_depth:
+                self.rejected_full += 1
+                raise JobQueueFullError(active)
             self._jobs[job.id] = job
             self._prune_locked()
         self._pool.submit(self._run, job, work)
         return job
 
     def _run(self, job: Job, work: Callable[[], Any]) -> None:
-        with self._changed:
-            job.status = RUNNING
-            job.started_at = time.time()
-            self._changed.notify_all()
-        try:
-            result = work()
-        except BaseException as error:  # noqa: BLE001 — a job failure must
-            # land in the job record, not kill the worker thread.
-            detail = getattr(error, "detail", None) or str(error)
+        attempt = 0
+        while True:
             with self._changed:
-                job.status = FAILED
-                job.error = f"{type(error).__name__}: {detail}"
-                job.finished_at = time.time()
+                if job.status == FAILED:
+                    # Cancelled while queued/sleeping (drain deadline).
+                    return
+                job.status = RUNNING
+                if job.started_at is None:
+                    job.started_at = time.time()
+                attempt_started = time.time()
                 self._changed.notify_all()
-        else:
-            with self._changed:
-                job.status = DONE
-                job.result = result
-                job.finished_at = time.time()
-                self._changed.notify_all()
+            try:
+                _faults.maybe_fire("job.run")
+                result = work()
+            except BaseException as error:  # noqa: BLE001 — a job failure
+                # must land in the job record, not kill the worker thread.
+                detail = getattr(error, "detail", None) or str(error)
+                message = f"{type(error).__name__}: {detail}"
+                retry = (
+                    _faults.is_transient(error)
+                    and attempt < self.retries
+                )
+                with self._changed:
+                    if job.status == FAILED:
+                        return
+                    retry = retry and self._accepting
+                    backoff = None
+                    if retry:
+                        backoff = self.retry_base_delay * (2**attempt) + (
+                            self.retry_base_delay * self._jitter_rng.random()
+                        )
+                        job.status = RETRYING
+                        self.retried_attempts += 1
+                    else:
+                        job.status = FAILED
+                        job.error = message
+                        job.finished_at = time.time()
+                    job.attempts.append(
+                        {
+                            "attempt": attempt + 1,
+                            "error": message,
+                            "started_at": attempt_started,
+                            "finished_at": time.time(),
+                            "backoff_seconds": backoff,
+                        }
+                    )
+                    self._changed.notify_all()
+                if not retry:
+                    return
+                time.sleep(backoff)
+                attempt += 1
+            else:
+                with self._changed:
+                    if job.status == FAILED:
+                        return
+                    job.status = DONE
+                    job.result = result
+                    job.finished_at = time.time()
+                    self._changed.notify_all()
+                return
 
     def _prune_locked(self) -> None:
         finished = [
@@ -216,8 +376,52 @@ class JobQueue:
                 self._changed.wait(remaining)
         return job
 
-    def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+    def shutdown(
+        self, wait: bool = True, drain_timeout: float | None = None
+    ) -> bool:
+        """Stop accepting work and wind the pool down.
+
+        Without ``drain_timeout`` this is the historical behavior:
+        block (or not, per ``wait``) until the pool exits. With a
+        ``drain_timeout``, active jobs get that many seconds to finish;
+        whatever is still queued or retrying at the deadline is marked
+        ``failed`` with a ``cancelled`` error (pollable afterwards) and
+        the pool is force-cancelled. Returns True when every job
+        finished on its own.
+        """
+        with self._changed:
+            self._accepting = False
+            self._changed.notify_all()
+        if drain_timeout is None:
+            self._pool.shutdown(wait=wait)
+            return True
+        deadline = time.monotonic() + drain_timeout
+        with self._changed:
+            while True:
+                active = [
+                    job
+                    for job in self._jobs.values()
+                    if job.status in ACTIVE_STATUSES
+                ]
+                if not active:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._changed.wait(remaining)
+            drained = not active
+            now = time.time()
+            for job in active:
+                job.status = FAILED
+                job.error = (
+                    "CancelledError: cancelled — server shut down before "
+                    "the job could finish"
+                )
+                job.finished_at = now
+            if active:
+                self._changed.notify_all()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        return drained
 
 
 class RWLock:

@@ -236,7 +236,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     router = create_app(lens, workers=args.workers)
     server = serve(
-        router, host=args.host, port=args.port, max_workers=args.workers
+        router, host=args.host, port=args.port, max_workers=args.workers,
+        request_timeout=args.request_timeout,
     )
     host, port = server.server_address
     # flush: with --port 0 this line is how supervisors learn the bound
@@ -254,8 +255,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"http://{host}:{port}/health", timeout=10
         ) as response:
             ok = response.status == 200
-        server.shutdown()
-        router.job_queue.shutdown()
+        server.shutdown(drain_timeout=args.drain_timeout)
+        router.job_queue.shutdown(drain_timeout=args.drain_timeout)
         print("smoke test passed" if ok else "smoke test failed")
         return 0 if ok else 1
     try:
@@ -265,8 +266,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
-        router.job_queue.shutdown()
+        server.shutdown(drain_timeout=args.drain_timeout)
+        router.job_queue.shutdown(drain_timeout=args.drain_timeout)
     return 0
 
 
@@ -371,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: DATALENS_SERVER_WORKERS or 4)",
     )
     serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-request deadline in seconds; exceeded requests get "
+        "503 + Retry-After (default: DATALENS_REQUEST_TIMEOUT or none)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout", type=float, default=None,
+        help="seconds to wait for in-flight requests and queued jobs "
+        "on shutdown (default: hard stop)",
+    )
     serve_cmd.add_argument(
         "--smoke-test", action="store_true",
         help="boot, self-check /health, and exit",

@@ -75,6 +75,8 @@ consumer runs its cold path — CI runs the full suite in both modes.
 from __future__ import annotations
 
 import copy as _copy
+import errno as _errno
+import logging
 import os
 import sys
 import threading
@@ -84,6 +86,9 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from ..dataframe.spill import parse_byte_size
+from . import faults as _faults
+
+_logger = logging.getLogger(__name__)
 
 #: Environment variable gating the cache. Any value other than the
 #: falsey tokens below (default: unset = enabled) keeps caching on.
@@ -175,6 +180,17 @@ def _estimate_bytes(value: Any, seen: set[int]) -> int:
     return total
 
 
+class ArtifactCapacityError(RuntimeError):
+    """The artifact cache's backing storage is out of space.
+
+    Raised by :meth:`ArtifactStore.put` when a (real or injected) ENOSPC
+    surfaces while persisting an artifact. :meth:`ArtifactStore.cached`
+    absorbs it — the computed value is still returned, the cache just
+    could not keep it — so sessions degrade to cold recomputation
+    instead of failing requests.
+    """
+
+
 Key = tuple[str, tuple[str, ...], tuple]
 
 
@@ -226,6 +242,11 @@ class ArtifactStore:
         self.evictions = 0
         self.total_bytes = 0
         self.evicted_bytes = 0
+        self.get_errors = 0
+        self.put_errors = 0
+        self.capacity_errors = 0
+        self.transient_retries = 0
+        self._degradation_logged = False
         self._by_kind: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
@@ -242,6 +263,23 @@ class ArtifactStore:
             stats = self._by_kind[kind] = {"hits": 0, "misses": 0, "puts": 0}
         return stats
 
+    def _record_degradation(
+        self, counter: str, operation: str, error: BaseException
+    ) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+            first = not self._degradation_logged
+            self._degradation_logged = True
+        if first:
+            _logger.warning(
+                "artifact cache %s failed (%s: %s); degrading to cold "
+                "recomputation — further failures for this store are "
+                "only counted in stats()",
+                operation,
+                type(error).__name__,
+                error,
+            )
+
     # ------------------------------------------------------------------
     def get(
         self,
@@ -253,9 +291,22 @@ class ArtifactStore:
 
         Hits refresh LRU recency. Values stored with ``copy=True`` come
         back as deep copies, so callers may mutate them freely.
+
+        Fault site ``artifact.get``: transient faults are absorbed by
+        internal retries (results and counters stay identical to a
+        fault-free run); a persistent fault degrades the lookup to a
+        miss — counted in ``get_errors``, never surfaced to callers.
         """
         if not self.enabled:
             return False, None
+        try:
+            retried = _faults.absorb_transient("artifact.get")
+        except BaseException as error:  # noqa: BLE001 — degrade, don't fail
+            self._record_degradation("get_errors", "lookup", error)
+            return False, None
+        if retried:
+            with self._lock:
+                self.transient_retries += retried
         key = self.make_key(kind, fingerprints, params)
         with self._lock:
             entry = self._entries.get(key)
@@ -286,9 +337,35 @@ class ArtifactStore:
         copies back out — use it for mutable artifacts (dicts, lists).
         Immutable artifacts (floats, tuples, read-mostly partitions) skip
         the copies.
+
+        Fault site ``artifact.put``: transient faults are absorbed by
+        internal retries; an ENOSPC/EDQUOT raises the typed
+        :class:`ArtifactCapacityError` naming the cache; any other
+        persistent fault drops the put (counted in ``put_errors``) —
+        the cache is best-effort, the computed value is never lost.
         """
         if not self.enabled:
             return
+        try:
+            retried = _faults.absorb_transient("artifact.put")
+        except OSError as error:
+            if error.errno in (_errno.ENOSPC, getattr(_errno, "EDQUOT", -1)):
+                with self._lock:
+                    self.put_errors += 1
+                    self.capacity_errors += 1
+                raise ArtifactCapacityError(
+                    f"artifact cache (max_entries={self.max_entries}, "
+                    f"max_bytes={self.max_bytes}) is out of space while "
+                    f"storing a {kind!r} artifact: {error}"
+                ) from error
+            self._record_degradation("put_errors", "publish", error)
+            return
+        except BaseException as error:  # noqa: BLE001 — degrade, don't fail
+            self._record_degradation("put_errors", "publish", error)
+            return
+        if retried:
+            with self._lock:
+                self.transient_retries += retried
         key = self.make_key(kind, fingerprints, params)
         snapshot = _copy.deepcopy(value) if copy else value
         # Size (and snapshot) outside the lock — only bookkeeping inside.
@@ -332,7 +409,21 @@ class ArtifactStore:
         if hit:
             return value
         value = compute()
-        self.put(kind, fingerprints, params, value, copy=copy)
+        try:
+            self.put(kind, fingerprints, params, value, copy=copy)
+        except ArtifactCapacityError as error:
+            # The artifact was computed; losing the cache entry is a
+            # performance problem, not a correctness one. put() already
+            # counted the capacity error.
+            with self._lock:
+                first = not self._degradation_logged
+                self._degradation_logged = True
+            if first:
+                _logger.warning(
+                    "artifact cache out of space; serving uncached "
+                    "results (%s)",
+                    error,
+                )
         return value
 
     # ------------------------------------------------------------------
@@ -373,6 +464,10 @@ class ArtifactStore:
                 "misses": self.misses,
                 "puts": self.puts,
                 "evictions": self.evictions,
+                "get_errors": self.get_errors,
+                "put_errors": self.put_errors,
+                "capacity_errors": self.capacity_errors,
+                "transient_retries": self.transient_retries,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "by_kind": {
                     kind: dict(counts)

@@ -14,7 +14,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..dataframe import Cell, DataFrame
+from ..dataframe import Cell, DataFrame, sweep_orphaned_spill_dirs
 from ..detection import (
     DetectionContext,
     DetectionResult,
@@ -515,6 +515,12 @@ class DataLens:
         # a dataset for the first time must share one session object,
         # not race ``_open`` into two divergent copies of its state.
         self._session_lock = threading.RLock()
+        # Startup hygiene: reclaim spill directories abandoned by
+        # crashed sessions (best-effort; never blocks startup).
+        try:
+            sweep_orphaned_spill_dirs()
+        except Exception:  # noqa: BLE001 — sweeping is opportunistic
+            pass
 
     # ------------------------------------------------------------------
     def ingest_frame(self, name: str, frame: DataFrame) -> DataLensSession:

@@ -1,0 +1,440 @@
+"""Deterministic fault injection for chaos testing the pipeline.
+
+Production failures — a flaky disk read, a full filesystem, a slow
+network peer, an overloaded worker — are inputs the system must handle,
+not surprises. This module makes them *first-class test inputs*: named
+**injection sites** are wired into the storage and serving layers
+(:mod:`repro.dataframe.spill`, :mod:`repro.core.artifacts`,
+:mod:`repro.dataframe.io`, :mod:`repro.api.jobs`,
+:mod:`repro.api.http`), and a **fault plan** decides, deterministically,
+which site invocations raise an error or stall.
+
+Injection sites
+---------------
+A site is a dotted name fired via :func:`maybe_fire` at the exact point
+a real fault would surface:
+
+==================  ====================================================
+Site                Fired when
+==================  ====================================================
+``spill.write``     a shard pair is serialized to the spill directory
+``spill.read``      a spilled shard is read back (cache miss)
+``spill.evict``     the resident LRU evicts shards to make room
+``artifact.get``    an artifact-cache lookup runs
+``artifact.put``    an artifact-cache publish runs
+``ingest.chunk``    the streaming CSV reader packs one chunk of rows
+``job.run``         a queued job attempt starts executing
+``http.write``      an HTTP response is about to be written
+==================  ====================================================
+
+Spec grammar (``DATALENS_FAULT_INJECT``)
+----------------------------------------
+A plan is one or more rules separated by ``;``; each rule is
+``key=value`` fields separated by ``,``::
+
+    site=<fnmatch pattern>   required — e.g. spill.read or spill.*
+    error=<name>             exception to raise: transient | fault |
+                             oserror | enospc | timeout | connection
+    prob=<float 0..1>        fire probability per match (default 1.0,
+                             drawn from a per-rule seeded RNG)
+    count=<int>              fire at most N times (default: unlimited)
+    after=<int>              skip the first N matching invocations
+    latency=<seconds>        sleep instead of / in addition to raising
+    seed=<int>               RNG seed for ``prob`` draws (default 0)
+
+Example — 5%% transient faults on every spill read, plus one injected
+disk-full on the third artifact publish::
+
+    DATALENS_FAULT_INJECT='site=spill.read,error=transient,prob=0.05,seed=7;site=artifact.put,error=enospc,after=2,count=1'
+
+Activation is either the environment variable (re-read on every fire,
+so ``monkeypatch.setenv`` works) or the :func:`inject` context manager,
+which composes with — and stacks on top of — the environment plan.
+
+Transient vs. persistent faults
+-------------------------------
+``error=transient`` raises :class:`TransientFaultError` — the injected
+stand-in for faults that succeed on retry (EINTR-ish I/O hiccups,
+connection resets, worker blips). :func:`is_transient` classifies them
+(plus ``ConnectionError`` / ``TimeoutError`` / anything with a truthy
+``transient`` attribute), and the storage layers *absorb* them: spill
+and artifact operations retry transient faults internally
+(:func:`with_transient_retries`, bounded by ``DATALENS_IO_RETRIES``),
+so low-probability transient injection leaves results — and cache
+counters — bit-identical to a fault-free run. Persistent faults
+(``enospc``, checksum corruption) are never retried; they surface as
+typed errors (:class:`~repro.dataframe.spill.SpillCapacityError`,
+:class:`~repro.core.artifacts.ArtifactCapacityError`,
+:class:`~repro.dataframe.spill.SpillError`).
+
+This module imports nothing from the package (stdlib only), so the
+low-level dataframe modules can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import fnmatch
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+#: Environment variable holding the ambient fault plan.
+FAULT_INJECT_ENV = "DATALENS_FAULT_INJECT"
+
+#: Environment variable bounding internal transient-fault retries in the
+#: storage layers (spill store, artifact cache). Total attempts per
+#: operation = 1 + retries.
+IO_RETRIES_ENV = "DATALENS_IO_RETRIES"
+
+DEFAULT_IO_RETRIES = 4
+
+#: Base delay for the exponential backoff between internal retries.
+DEFAULT_RETRY_BASE_DELAY = 0.002
+
+
+class FaultError(RuntimeError):
+    """An injected fault (base class for everything this module raises)."""
+
+    injected = True
+
+
+class TransientFaultError(FaultError):
+    """An injected fault that would succeed on retry."""
+
+    transient = True
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a failure is worth retrying.
+
+    Injected :class:`TransientFaultError`, real ``ConnectionError`` /
+    ``TimeoutError``, and any exception carrying a truthy ``transient``
+    attribute classify as transient; everything else (including
+    ``OSError`` subtypes like ENOSPC, and checksum corruption) does not.
+    """
+    if isinstance(error, (ConnectionError, TimeoutError)):
+        return True
+    return bool(getattr(error, "transient", False))
+
+
+def _make_enospc(message: str) -> OSError:
+    return OSError(_errno.ENOSPC, f"No space left on device [{message}]")
+
+
+#: error= name → factory building the exception to raise at the site.
+ERROR_FACTORIES: dict[str, Callable[[str], BaseException]] = {
+    "fault": FaultError,
+    "transient": TransientFaultError,
+    "oserror": lambda message: OSError(_errno.EIO, f"I/O error [{message}]"),
+    "enospc": _make_enospc,
+    "timeout": TimeoutError,
+    "connection": ConnectionResetError,
+}
+
+
+def resolve_io_retries(retries: int | None = None) -> int:
+    """Explicit ``retries``, else ``DATALENS_IO_RETRIES``, else 4."""
+    if retries is not None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        return retries
+    raw = os.environ.get(IO_RETRIES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_IO_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid integer for {IO_RETRIES_ENV}: {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{IO_RETRIES_ENV} must be >= 0, got {value}")
+    return value
+
+
+class FaultRule:
+    """One parsed rule of a fault plan, with its own seeded RNG."""
+
+    __slots__ = (
+        "site",
+        "error",
+        "probability",
+        "count",
+        "after",
+        "latency",
+        "seed",
+        "matches",
+        "fires",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        site: str,
+        error: str | None = None,
+        probability: float = 1.0,
+        count: int | None = None,
+        after: int = 0,
+        latency: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if error is not None and error not in ERROR_FACTORIES:
+            known = ", ".join(sorted(ERROR_FACTORIES))
+            raise ValueError(
+                f"unknown fault error {error!r} (known: {known})"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {probability}"
+            )
+        if error is None and latency <= 0.0:
+            raise ValueError(
+                f"fault rule for site {site!r} needs error= or latency="
+            )
+        self.site = site
+        self.error = error
+        self.probability = probability
+        self.count = count
+        self.after = after
+        self.latency = latency
+        self.seed = seed
+        self.matches = 0
+        self.fires = 0
+        self._rng = random.Random(seed)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "error": self.error,
+            "probability": self.probability,
+            "count": self.count,
+            "after": self.after,
+            "latency": self.latency,
+            "seed": self.seed,
+            "matches": self.matches,
+            "fires": self.fires,
+        }
+
+
+class FaultPlan:
+    """A set of rules evaluated at every fired site, thread-safely."""
+
+    def __init__(self, rules: list[FaultRule]) -> None:
+        self.rules = rules
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``DATALENS_FAULT_INJECT`` spec string (see module doc)."""
+        rules: list[FaultRule] = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            fields: dict[str, str] = {}
+            for part in chunk.split(","):
+                key, sep, value = part.strip().partition("=")
+                if not sep or not key:
+                    raise ValueError(
+                        f"malformed fault rule field {part!r} in "
+                        f"{FAULT_INJECT_ENV} (expected key=value)"
+                    )
+                fields[key.strip()] = value.strip()
+            site = fields.pop("site", None)
+            if not site:
+                raise ValueError(
+                    f"fault rule {chunk!r} in {FAULT_INJECT_ENV} is "
+                    "missing the required site= field"
+                )
+            kwargs: dict[str, Any] = {"site": site}
+            try:
+                if "error" in fields:
+                    kwargs["error"] = fields.pop("error").lower()
+                if "prob" in fields:
+                    kwargs["probability"] = float(fields.pop("prob"))
+                if "count" in fields:
+                    kwargs["count"] = int(fields.pop("count"))
+                if "after" in fields:
+                    kwargs["after"] = int(fields.pop("after"))
+                if "latency" in fields:
+                    kwargs["latency"] = float(fields.pop("latency"))
+                if "seed" in fields:
+                    kwargs["seed"] = int(fields.pop("seed"))
+            except ValueError as error:
+                raise ValueError(
+                    f"malformed fault rule {chunk!r} in "
+                    f"{FAULT_INJECT_ENV}: {error}"
+                ) from None
+            if fields:
+                unknown = ", ".join(sorted(fields))
+                raise ValueError(
+                    f"unknown fault rule field(s) {unknown} in {chunk!r} "
+                    f"({FAULT_INJECT_ENV})"
+                )
+            rules.append(FaultRule(**kwargs))
+        return cls(rules)
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> None:
+        """Evaluate every rule against one site invocation.
+
+        Latency rules sleep (outside the plan lock); error rules raise.
+        The first raising rule wins; latency from earlier rules still
+        applies before the raise.
+        """
+        delay = 0.0
+        raising: FaultRule | None = None
+        with self._lock:
+            for rule in self.rules:
+                if not fnmatch.fnmatchcase(site, rule.site):
+                    continue
+                rule.matches += 1
+                if rule.matches <= rule.after:
+                    continue
+                if rule.count is not None and rule.fires >= rule.count:
+                    continue
+                if rule.probability < 1.0 and (
+                    rule._rng.random() >= rule.probability
+                ):
+                    continue
+                rule.fires += 1
+                delay += rule.latency
+                if rule.error is not None and raising is None:
+                    raising = rule
+        if delay > 0.0:
+            time.sleep(delay)
+        if raising is not None:
+            raise ERROR_FACTORIES[raising.error](
+                f"injected fault at site {site!r}"
+            )
+
+    def stats(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [rule.describe() for rule in self.rules]
+
+
+# ----------------------------------------------------------------------
+# Activation: environment plan + context-manager stack
+# ----------------------------------------------------------------------
+_context_plans: list[FaultPlan] = []
+_context_lock = threading.Lock()
+
+#: (raw env spec, parsed plan) — reparsed whenever the raw value changes,
+#: so monkeypatched environments work without explicit invalidation.
+_env_plan: tuple[str, FaultPlan | None] = ("", None)
+_env_lock = threading.Lock()
+
+
+def _plan_from_env() -> FaultPlan | None:
+    global _env_plan
+    raw = os.environ.get(FAULT_INJECT_ENV, "").strip()
+    cached_raw, cached_plan = _env_plan
+    if raw == cached_raw:
+        return cached_plan
+    with _env_lock:
+        cached_raw, cached_plan = _env_plan
+        if raw == cached_raw:
+            return cached_plan
+        plan = FaultPlan.parse(raw) if raw else None
+        _env_plan = (raw, plan)
+        return plan
+
+
+def maybe_fire(site: str) -> None:
+    """Fire one site invocation against every active plan.
+
+    Near-free when nothing is active: one environ lookup plus a list
+    check. With active plans, rules are matched in activation order
+    (environment plan first, then inner context managers).
+    """
+    env_plan = _plan_from_env()
+    if env_plan is not None:
+        env_plan.fire(site)
+    if _context_plans:
+        for plan in tuple(_context_plans):
+            plan.fire(site)
+
+
+@contextmanager
+def inject(spec: str | FaultPlan) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the dynamic extent of the block.
+
+    Yields the plan so callers can inspect per-rule fire counters
+    afterwards. Nestable; all active plans fire at every site.
+    """
+    plan = spec if isinstance(spec, FaultPlan) else FaultPlan.parse(spec)
+    with _context_lock:
+        _context_plans.append(plan)
+    try:
+        yield plan
+    finally:
+        with _context_lock:
+            _context_plans.remove(plan)
+
+
+def active_plans() -> list[FaultPlan]:
+    """Currently active plans (environment plan first), for diagnostics."""
+    plans = []
+    env_plan = _plan_from_env()
+    if env_plan is not None:
+        plans.append(env_plan)
+    plans.extend(_context_plans)
+    return plans
+
+
+def fault_stats() -> list[dict[str, Any]]:
+    """Per-rule match/fire counters across every active plan."""
+    return [rule for plan in active_plans() for rule in plan.stats()]
+
+
+# ----------------------------------------------------------------------
+# Transient-fault absorption helpers
+# ----------------------------------------------------------------------
+def with_transient_retries(
+    operation: Callable[[], Any],
+    retries: int | None = None,
+    base_delay: float = DEFAULT_RETRY_BASE_DELAY,
+) -> tuple[Any, int]:
+    """Run ``operation``, retrying transient failures with backoff.
+
+    Returns ``(result, retries_used)``. Non-transient failures (ENOSPC,
+    corruption, programming errors) propagate immediately; transient
+    ones (see :func:`is_transient`) are retried up to ``retries`` times
+    (default :func:`resolve_io_retries`) with exponential backoff, after
+    which the last error propagates. This is how the storage layers
+    absorb injected/real transient I/O faults without changing results
+    or cache counters.
+    """
+    limit = resolve_io_retries(retries)
+    attempt = 0
+    while True:
+        try:
+            return operation(), attempt
+        except BaseException as error:  # noqa: BLE001 — reclassified below
+            if not is_transient(error) or attempt >= limit:
+                raise
+            time.sleep(base_delay * (2**attempt))
+            attempt += 1
+
+
+def absorb_transient(
+    site: str,
+    retries: int | None = None,
+    base_delay: float = DEFAULT_RETRY_BASE_DELAY,
+) -> int:
+    """Fire ``site``, absorbing transient faults by re-firing.
+
+    For sites guarding pure in-memory operations (artifact cache): a
+    transient injection is retried — each attempt re-rolls the rule RNG —
+    so the operation proceeds unless the plan persistently fails.
+    Returns the number of retries absorbed; persistent errors propagate.
+    """
+    _, used = with_transient_retries(
+        lambda: maybe_fire(site), retries=retries, base_delay=base_delay
+    )
+    return used

@@ -25,6 +25,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import logging
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
@@ -33,6 +34,8 @@ import numpy as np
 from . import types as _types
 from .column import _pack
 from .frame import DataFrame
+
+_logger = logging.getLogger(__name__)
 
 
 def read_csv(
@@ -85,6 +88,10 @@ class _StreamingColumnBuilder:
         #: (data, mask) pairs, or ShardHandles when spilling to a store.
         self.shards: list = []
         self.store = store
+        #: Set to the SpillCapacityError once the disk fills mid-ingest;
+        #: the builder then degrades to resident shards (see
+        #: :meth:`_normalize_degraded`).
+        self.degraded: Exception | None = None
         self.dtype: str | None = declared
         self._saw_bool = False
         self._saw_int = False
@@ -134,15 +141,65 @@ class _StreamingColumnBuilder:
         coerced = [_types.coerce(value, self.dtype) for value in values]
         pair = _pack(coerced, self.dtype)
         if self.store is not None:
-            self.shards.append(self.store.spill(*pair))
+            self.shards.append(self._maybe_spill(pair))
+            self._normalize_degraded()
         else:
             self.shards.append(pair)
+
+    def _maybe_spill(self, pair):
+        """Spill one packed pair, degrading to resident on a full disk."""
+        from .spill import SpillCapacityError
+
+        if self.degraded is not None:
+            return pair
+        try:
+            return self.store.spill(*pair)
+        except SpillCapacityError as error:
+            self.degraded = error
+            return pair
+
+    def _normalize_degraded(self) -> None:
+        """After a capacity failure, pull spilled shards back to resident.
+
+        A degraded builder holds a mix of ShardHandles and raw pairs;
+        loading the handles back (and releasing their files, freeing
+        disk) restores the all-resident invariant so the column finishes
+        as a plain dense ChunkedColumn — ingest survives a full disk at
+        the cost of RAM.
+        """
+        if self.degraded is None:
+            return
+        from .spill import ShardHandle
+
+        resident = []
+        for shard in self.shards:
+            if isinstance(shard, ShardHandle):
+                data, mask = self.store.load(shard)
+                resident.append((np.array(data), np.array(mask)))
+                self.store.release(shard)
+            else:
+                resident.append(shard)
+        self.shards = resident
+        _logger.warning(
+            "spill store full while ingesting column %r; keeping its "
+            "shards resident (%s)",
+            self.name,
+            self.degraded,
+        )
+        self.store = None
 
     def _convert(self, shard, target: str):
         """Widen one shard — loading, re-coercing, and re-spilling if spilled."""
         if self.store is None:
             data, mask = shard
             return _convert_shard(data, mask, self.dtype, target)
+        from .spill import ShardHandle
+
+        if not isinstance(shard, ShardHandle):
+            data, mask = shard
+            return self._maybe_spill(
+                _convert_shard(data, mask, self.dtype, target)
+            )
         data, mask = self.store.load(shard)
         # Copy out of the (possibly mmapped, read-only) loaded arrays
         # before the old files are released.
@@ -150,7 +207,7 @@ class _StreamingColumnBuilder:
             np.array(data), np.array(mask), self.dtype, target
         )
         self.store.release(shard)
-        return self.store.spill(*converted)
+        return self._maybe_spill(converted)
 
     def finish(self):
         from .chunked import ChunkedColumn
@@ -255,8 +312,9 @@ def _read_csv_stream(
     spill=None,
 ):
     from .chunked import ChunkedFrame, resolve_chunk_size
-    from .spill import resolve_spill_store
+    from .spill import _faults, resolve_spill_store
 
+    faults = _faults()
     size = resolve_chunk_size(chunk_size)
     store = resolve_spill_store(spill)
     dtypes = dtypes or {}
@@ -280,11 +338,13 @@ def _read_csv_stream(
             buffer.append(_types.parse_token(token))
         buffered += 1
         if buffered == size:
+            faults.maybe_fire("ingest.chunk")
             for builder, buffer in zip(builders, buffers):
                 builder.flush(buffer)
             buffers = [[] for _ in header]
             buffered = 0
     if buffered:
+        faults.maybe_fire("ingest.chunk")
         for builder, buffer in zip(builders, buffers):
             builder.flush(buffer)
     return ChunkedFrame(builder.finish() for builder in builders)

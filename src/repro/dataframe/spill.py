@@ -18,6 +18,21 @@ Serialization format
   file holding the ``(values, mask)`` pair — objects cannot be mmapped,
   so these load as owned arrays.
 
+Crash safety
+------------
+Shard files are written through a tmp sibling + atomic ``os.replace``
+and carry per-file blake2b checksums on their :class:`ShardHandle`;
+every cold load re-hashes the file and raises :class:`SpillError`
+naming the shard and path on mismatch — corrupt or truncated spill data
+can never flow into kernels. Disk exhaustion (ENOSPC/EDQUOT) raises the
+typed :class:`SpillCapacityError`, which the ingestion paths catch to
+fall back to resident shards. Transient I/O faults (see
+:mod:`repro.core.faults`) are absorbed by bounded internal retries
+(``DATALENS_IO_RETRIES``). Crashed sessions leave ``datalens-spill-*``
+directories behind; :func:`sweep_orphaned_spill_dirs` (run at
+:class:`~repro.core.controller.DataLens` startup) removes those whose
+owning pid is dead.
+
 Residency contract
 ------------------
 ``load()`` pre-evicts least-recently-used shards until the incoming
@@ -54,11 +69,17 @@ repair pipeline leaves columns spilled.
 
 from __future__ import annotations
 
+import errno
+import hashlib
+import io
+import json
+import logging
 import os
 import pickle
 import shutil
 import tempfile
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from pathlib import Path
@@ -92,9 +113,65 @@ DEFAULT_SPILL_BUDGET = 256 * 1024 * 1024
 
 _SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
 
+#: Age (seconds) after which a spill directory with no readable owner
+#: file counts as orphaned for :func:`sweep_orphaned_spill_dirs`.
+ORPHAN_GRACE_SECONDS = 3600
+
+_logger = logging.getLogger(__name__)
+
+_FAULTS = None
+
+
+def _faults():
+    # repro.core.faults, imported lazily: core/__init__ imports
+    # artifacts, which imports this module, so a top-level import here
+    # would run against a partially-initialized repro.core.
+    global _FAULTS
+    if _FAULTS is None:
+        from ..core import faults as faults_module
+
+        _FAULTS = faults_module
+    return _FAULTS
+
 
 class SpillError(RuntimeError):
-    """A spilled shard could not be read back (e.g. spill dir deleted)."""
+    """A spilled shard could not be read back (deleted, truncated, corrupt)."""
+
+
+class SpillCapacityError(SpillError):
+    """The spill directory's filesystem is out of space (ENOSPC/EDQUOT)."""
+
+
+def _blob_digest(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def _file_digest(path: Path) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as stream:
+        while True:
+            block = stream.read(1 << 20)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Write a shard file via tmp sibling + atomic rename.
+
+    A crash or ENOSPC mid-write leaves at most a ``.tmp`` sibling — the
+    final path either does not exist or holds the complete blob, so a
+    reader can never observe a torn shard.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def parse_byte_size(raw: str | int, source: str) -> int:
@@ -158,9 +235,15 @@ def resolve_spill_store(spill: "SpillStore | bool | None") -> "SpillStore | None
 
 
 class ShardHandle:
-    """Pointer to one spilled shard: identity, length, and on-disk files."""
+    """Pointer to one spilled shard: identity, length, and on-disk files.
 
-    __slots__ = ("shard_id", "length", "nbytes", "kind", "paths")
+    ``checksums`` holds one blake2b hex digest per path, computed over
+    the exact bytes written; loads re-hash the files and refuse to
+    deserialize on mismatch, so a truncated or bit-flipped shard raises
+    :class:`SpillError` instead of feeding garbage into kernels.
+    """
+
+    __slots__ = ("shard_id", "length", "nbytes", "kind", "paths", "checksums")
 
     def __init__(
         self,
@@ -169,12 +252,14 @@ class ShardHandle:
         nbytes: int,
         kind: str,
         paths: tuple[Path, ...],
+        checksums: tuple[str, ...] | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.length = length
         self.nbytes = nbytes
         self.kind = kind
         self.paths = paths
+        self.checksums = checksums
 
     def __repr__(self) -> str:
         return (
@@ -211,6 +296,15 @@ class SpillStore:
         self.directory = Path(
             tempfile.mkdtemp(prefix="datalens-spill-", dir=base)
         )
+        try:
+            # Ownership marker for sweep_orphaned_spill_dirs: a sweeper
+            # in another process removes this directory only once this
+            # pid is dead.
+            (self.directory / "owner.json").write_text(
+                json.dumps({"pid": os.getpid(), "created": time.time()})
+            )
+        except OSError:
+            pass
         self._finalizer = weakref.finalize(
             self, shutil.rmtree, str(self.directory), True
         )
@@ -229,10 +323,22 @@ class SpillStore:
         self.resident_bytes = 0
         self.peak_resident_bytes = 0
         self.peak_resident_shards = 0
+        self.release_errors = 0
+        self.capacity_errors = 0
+        self.checksum_failures = 0
+        self.transient_retries = 0
+        self._release_error_logged = False
 
     # ------------------------------------------------------------------
     def spill(self, data: np.ndarray, mask: np.ndarray) -> ShardHandle:
-        """Serialize one shard pair to disk and return its handle."""
+        """Serialize one shard pair to disk and return its handle.
+
+        Shards are serialized in memory first (to checksum the exact
+        bytes), then written through tmp-file + atomic rename — a crash
+        mid-spill never leaves a torn shard behind. ENOSPC/EDQUOT raise
+        :class:`SpillCapacityError` naming the directory; transient I/O
+        faults are retried internally (``DATALENS_IO_RETRIES``).
+        """
         data = np.asarray(data)
         mask = np.asarray(mask, dtype=bool)
         if len(data) != len(mask):
@@ -242,18 +348,54 @@ class SpillStore:
             self._next_id += 1
         stem = self.directory / f"shard-{shard_id:06d}"
         if data.dtype == object:
-            path = Path(f"{stem}.pkl")
-            with open(path, "wb") as handle:
-                pickle.dump((data, mask), handle, pickle.HIGHEST_PROTOCOL)
-            kind, paths = "pickle", (path,)
+            blobs = [
+                (
+                    Path(f"{stem}.pkl"),
+                    pickle.dumps((data, mask), pickle.HIGHEST_PROTOCOL),
+                )
+            ]
+            kind = "pickle"
         else:
-            values_path = Path(f"{stem}.values.npy")
-            mask_path = Path(f"{stem}.mask.npy")
-            np.save(values_path, data, allow_pickle=False)
-            np.save(mask_path, mask, allow_pickle=False)
-            kind, paths = "npy", (values_path, mask_path)
-        nbytes = sum(path.stat().st_size for path in paths)
-        handle_out = ShardHandle(shard_id, len(data), nbytes, kind, paths)
+            values_buffer = io.BytesIO()
+            np.save(values_buffer, data, allow_pickle=False)
+            mask_buffer = io.BytesIO()
+            np.save(mask_buffer, mask, allow_pickle=False)
+            blobs = [
+                (Path(f"{stem}.values.npy"), values_buffer.getvalue()),
+                (Path(f"{stem}.mask.npy"), mask_buffer.getvalue()),
+            ]
+            kind = "npy"
+
+        faults = _faults()
+
+        def write_all() -> None:
+            faults.maybe_fire("spill.write")
+            for path, blob in blobs:
+                _atomic_write(path, blob)
+
+        try:
+            _, retried = faults.with_transient_retries(write_all)
+        except OSError as error:
+            for path, _ in blobs:
+                path.unlink(missing_ok=True)
+            if error.errno in (errno.ENOSPC, getattr(errno, "EDQUOT", -1)):
+                with self._lock:
+                    self.capacity_errors += 1
+                raise SpillCapacityError(
+                    f"spill directory {self.directory} is out of disk "
+                    f"space while writing shard {shard_id} ({error}); "
+                    "the shard stays resident"
+                ) from error
+            raise
+        if retried:
+            with self._lock:
+                self.transient_retries += retried
+        paths = tuple(path for path, _ in blobs)
+        checksums = tuple(_blob_digest(blob) for _, blob in blobs)
+        nbytes = sum(len(blob) for _, blob in blobs)
+        handle_out = ShardHandle(
+            shard_id, len(data), nbytes, kind, paths, checksums
+        )
         with self._lock:
             self.spilled_shards += 1
             self.spilled_bytes += nbytes
@@ -272,8 +414,18 @@ class SpillStore:
                 self._resident.move_to_end(handle.shard_id)
                 self.cache_hits += 1
                 return pair
-            self._evict_down_to(self.budget_bytes - handle.nbytes)
-        pair = self._read(handle)
+
+        faults = _faults()
+
+        def miss() -> tuple[np.ndarray, np.ndarray]:
+            with self._lock:
+                self._evict_down_to(self.budget_bytes - handle.nbytes)
+            return self._read(handle)
+
+        pair, retried = faults.with_transient_retries(miss)
+        if retried:
+            with self._lock:
+                self.transient_retries += retried
         with self._lock:
             if handle.shard_id not in self._resident:
                 self._resident[handle.shard_id] = pair
@@ -302,16 +454,33 @@ class SpillStore:
                 self.cache_hits += 1
                 return pair[1]
         if handle.kind == "npy":
-            try:
-                return np.load(
-                    handle.paths[1], mmap_mode="r", allow_pickle=False
-                )
-            except (FileNotFoundError, OSError) as error:
-                raise self._missing_shard_error(handle, error) from error
+            faults = _faults()
+
+            def read_mask() -> np.ndarray:
+                faults.maybe_fire("spill.read")
+                self._verify_file(handle, 1)
+                try:
+                    return np.load(
+                        handle.paths[1], mmap_mode="r", allow_pickle=False
+                    )
+                except (FileNotFoundError, OSError) as error:
+                    raise self._missing_shard_error(handle, error) from error
+
+            mask, retried = faults.with_transient_retries(read_mask)
+            if retried:
+                with self._lock:
+                    self.transient_retries += retried
+            return mask
         return self.load(handle)[1]
 
     def release(self, handle: ShardHandle) -> None:
-        """Drop a shard from the cache and delete its files."""
+        """Drop a shard from the cache and delete its files.
+
+        A shard file that cannot be unlinked is counted in
+        ``stats()["release_errors"]`` (and the first occurrence per
+        store is logged) — the store keeps working, but the leak is
+        visible instead of silently swallowed.
+        """
         with self._lock:
             if self._resident.pop(handle.shard_id, None) is not None:
                 self.resident_bytes -= self._resident_sizes.pop(
@@ -319,9 +488,20 @@ class SpillStore:
                 )
         for path in handle.paths:
             try:
-                path.unlink()
-            except OSError:
-                pass
+                path.unlink(missing_ok=True)
+            except OSError as error:
+                with self._lock:
+                    self.release_errors += 1
+                    first = not self._release_error_logged
+                    self._release_error_logged = True
+                if first:
+                    _logger.warning(
+                        "failed to delete spilled shard file %s (%s); "
+                        "further failures for this store are only "
+                        "counted in stats()['release_errors']",
+                        path,
+                        error,
+                    )
 
     def close(self) -> None:
         """Delete the spill directory; subsequent loads raise SpillError."""
@@ -346,17 +526,44 @@ class SpillStore:
                 "resident_bytes": self.resident_bytes,
                 "peak_resident_bytes": self.peak_resident_bytes,
                 "peak_resident_shards": self.peak_resident_shards,
+                "release_errors": self.release_errors,
+                "capacity_errors": self.capacity_errors,
+                "checksum_failures": self.checksum_failures,
+                "transient_retries": self.transient_retries,
             }
 
     # ------------------------------------------------------------------
     def _evict_down_to(self, target_bytes: int) -> None:
         # Caller holds the lock.
+        if self._resident and self.resident_bytes > target_bytes:
+            _faults().maybe_fire("spill.evict")
         while self._resident and self.resident_bytes > target_bytes:
             shard_id, _ = self._resident.popitem(last=False)
             self.resident_bytes -= self._resident_sizes.pop(shard_id)
             self.evictions += 1
 
+    def _verify_file(self, handle: ShardHandle, index: int) -> None:
+        if not handle.checksums:
+            return
+        path = handle.paths[index]
+        try:
+            digest = _file_digest(path)
+        except (FileNotFoundError, OSError) as error:
+            raise self._missing_shard_error(handle, error) from error
+        expected = handle.checksums[index]
+        if digest != expected:
+            with self._lock:
+                self.checksum_failures += 1
+            raise SpillError(
+                f"spilled shard {handle.shard_id} is corrupt or "
+                f"truncated: {path} fails its blake2b checksum "
+                f"(expected {expected}, got {digest})"
+            )
+
     def _read(self, handle: ShardHandle) -> tuple[np.ndarray, np.ndarray]:
+        _faults().maybe_fire("spill.read")
+        for index in range(len(handle.paths)):
+            self._verify_file(handle, index)
         try:
             if handle.kind == "pickle":
                 with open(handle.paths[0], "rb") as stream:
@@ -380,6 +587,63 @@ class SpillStore:
             f"{self.directory} — was the spill directory deleted while "
             f"the session was live? ({error})"
         )
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def sweep_orphaned_spill_dirs(
+    base: str | Path | None = None,
+    grace_seconds: float = ORPHAN_GRACE_SECONDS,
+) -> list[Path]:
+    """Remove ``datalens-spill-*`` directories left by crashed sessions.
+
+    Live stores advertise themselves via an ``owner.json`` holding their
+    pid; a directory is orphaned when that pid is dead, or — for
+    directories with no readable owner file — when it has been untouched
+    longer than ``grace_seconds``. ``base`` defaults to
+    ``DATALENS_SPILL_DIR`` or the system temp dir (where
+    :class:`SpillStore` creates its directories). Returns the removed
+    paths; every failure is swallowed — sweeping is best-effort startup
+    hygiene, never a reason not to start.
+    """
+    if base is None:
+        base = spill_dir_from_env() or tempfile.gettempdir()
+    removed: list[Path] = []
+    try:
+        candidates = sorted(Path(base).glob("datalens-spill-*"))
+    except OSError:
+        return removed
+    now = time.time()
+    for candidate in candidates:
+        if not candidate.is_dir():
+            continue
+        orphaned = False
+        try:
+            owner = json.loads((candidate / "owner.json").read_text())
+            pid = int(owner["pid"])
+            orphaned = pid != os.getpid() and not _pid_alive(pid)
+        except (OSError, ValueError, TypeError, KeyError):
+            try:
+                orphaned = now - candidate.stat().st_mtime > grace_seconds
+            except OSError:
+                orphaned = False
+        if orphaned:
+            shutil.rmtree(candidate, ignore_errors=True)
+            removed.append(candidate)
+            _logger.info("removed orphaned spill directory %s", candidate)
+    return removed
 
 
 def _resliced_pairs(
@@ -486,10 +750,15 @@ class SpilledChunkedColumn(ChunkedColumn):
             pairs = [
                 (np.asarray(column.values_array()), np.asarray(column.mask()))
             ]
-        handles = [
-            store.spill(data, mask)
-            for data, mask in _resliced_pairs(pairs, lengths)
-        ]
+        handles: list[ShardHandle] = []
+        try:
+            for data, mask in _resliced_pairs(pairs, lengths):
+                handles.append(store.spill(data, mask))
+        except BaseException:
+            # Don't leak the shards already written for this column.
+            for handle in handles:
+                store.release(handle)
+            raise
         out = cls.from_handles(column.name, column.dtype, handles, store)
         # Content is preserved row for row, so content-derived caches
         # carry over (same rule as ChunkedColumn.from_column).
@@ -686,6 +955,9 @@ def spill_frame(
 
     A chunked input keeps its chunk boundaries when ``chunk_size`` is
     None; a monolithic input is cut at the resolved chunk size first.
+    A column whose spill hits :class:`SpillCapacityError` (disk full)
+    degrades to a resident :class:`ChunkedColumn` with a warning — the
+    frame stays fully usable, it just was not moved out of RAM.
     """
     if store is None:
         store = SpillStore(budget_bytes=budget_bytes, directory=directory)
@@ -694,10 +966,21 @@ def spill_frame(
     else:
         size = resolve_chunk_size(chunk_size)
         lengths = chunk_lengths_for(frame.num_rows, size)
-    return ChunkedFrame(
-        SpilledChunkedColumn.from_column(frame.column(name), lengths, store)
-        for name in frame.column_names
-    )
+    columns: list[ChunkedColumn] = []
+    for name in frame.column_names:
+        column = frame.column(name)
+        try:
+            columns.append(
+                SpilledChunkedColumn.from_column(column, lengths, store)
+            )
+        except SpillCapacityError as error:
+            _logger.warning(
+                "keeping column %r resident instead of spilling: %s",
+                name,
+                error,
+            )
+            columns.append(ChunkedColumn.from_column(column, lengths))
+    return ChunkedFrame(columns)
 
 
 def spill_store_of(frame: DataFrame) -> SpillStore | None:

@@ -1,0 +1,329 @@
+"""Crash-safety and fault-tolerance of the spill store.
+
+test_spill.py covers budgets and lifecycle on a healthy filesystem;
+this module attacks the disk itself: corrupted and truncated shard
+files, injected ENOSPC mid-spill and mid-ingest, undeletable shard
+files, transient I/O blips, and spill directories orphaned by crashed
+processes. Fault injection (repro.core.faults) stands in for the real
+failures, so every scenario is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import faults
+from repro.dataframe import (
+    DataFrame,
+    SpillCapacityError,
+    SpillError,
+    SpillStore,
+    read_csv_chunked,
+    spill_frame,
+    sweep_orphaned_spill_dirs,
+    write_csv,
+)
+from repro.dataframe.spill import SPILL_BUDGET_ENV, SpilledChunkedColumn
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Pin the environment plan off: these tests assert exact fault
+    counters, which the CI chaos leg's ambient low-probability plan
+    (DATALENS_FAULT_INJECT on spill.*/artifact.*) would perturb."""
+    monkeypatch.delenv(faults.FAULT_INJECT_ENV, raising=False)
+
+
+def _frame(n: int = 40) -> DataFrame:
+    return DataFrame.from_dict(
+        {
+            "x": [float(i) if i % 5 else None for i in range(n)],
+            "s": [f"v{i % 3}" if i % 7 else None for i in range(n)],
+        }
+    )
+
+
+def _spill_one(store: SpillStore, n: int = 50):
+    return store.spill(
+        np.arange(n, dtype=np.float64),
+        np.array([i % 4 == 0 for i in range(n)]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Checksums: corruption and truncation are detected, not returned
+# ----------------------------------------------------------------------
+class TestChecksums:
+    def test_handles_carry_checksums_and_round_trip(self):
+        store = SpillStore(budget_bytes=1024**2)
+        handle = _spill_one(store)
+        assert len(handle.checksums) == len(handle.paths) == 2
+        data, mask = store.load(handle)
+        assert np.array_equal(np.asarray(data), np.arange(50, dtype=np.float64))
+        assert int(np.asarray(mask).sum()) == 13
+        assert store.stats()["checksum_failures"] == 0
+
+    def test_bit_flip_raises_spill_error_naming_shard_and_path(self):
+        store = SpillStore(budget_bytes=1024**2)
+        handle = _spill_one(store)
+        path = handle.paths[0]
+        corrupted = bytearray(path.read_bytes())
+        corrupted[-1] ^= 0xFF
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(SpillError) as excinfo:
+            store.load(handle)
+        message = str(excinfo.value)
+        assert "corrupt or truncated" in message
+        assert str(path) in message
+        assert f"shard {handle.shard_id}" in message
+        assert store.stats()["checksum_failures"] == 1
+
+    def test_truncation_raises_spill_error(self):
+        store = SpillStore(budget_bytes=1024**2)
+        handle = _spill_one(store)
+        path = handle.paths[0]
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(SpillError, match="corrupt or truncated"):
+            store.load(handle)
+
+    def test_mask_only_read_verifies_the_mask_file(self):
+        store = SpillStore(budget_bytes=1024**2)
+        handle = _spill_one(store)
+        mask_path = handle.paths[1]
+        blob = bytearray(mask_path.read_bytes())
+        blob[-1] ^= 0x01
+        mask_path.write_bytes(bytes(blob))
+        with pytest.raises(SpillError, match="corrupt or truncated"):
+            store.load_mask(handle)
+
+    def test_pickled_object_shards_are_verified_too(self):
+        store = SpillStore(budget_bytes=1024**2)
+        payload = np.empty(3, dtype=object)
+        payload[:] = [10**30, None, "x"]
+        handle = store.spill(payload, np.array([False, True, False]))
+        assert handle.kind == "pickle"
+        blob = bytearray(handle.paths[0].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        handle.paths[0].write_bytes(bytes(blob))
+        with pytest.raises(SpillError, match="corrupt or truncated"):
+            store.load(handle)
+
+    def test_no_tmp_files_left_after_spilling(self):
+        store = SpillStore(budget_bytes=1024**2)
+        for _ in range(5):
+            _spill_one(store)
+        assert not list(store.directory.glob("*.tmp"))
+
+    def test_failed_atomic_write_leaves_no_tmp(self, monkeypatch):
+        from repro.dataframe.spill import _atomic_write
+
+        def explode(src, dst):
+            raise OSError(5, "replace failed")
+
+        monkeypatch.setattr(os, "replace", explode)
+        target = Path(SpillStore(budget_bytes=1024).directory) / "x.npy"
+        with pytest.raises(OSError):
+            _atomic_write(target, b"payload")
+        assert not target.exists()
+        assert not target.with_name("x.npy.tmp").exists()
+
+
+# ----------------------------------------------------------------------
+# ENOSPC: typed capacity errors and resident fallback
+# ----------------------------------------------------------------------
+class TestCapacity:
+    def test_injected_enospc_raises_typed_error_naming_directory(self):
+        store = SpillStore(budget_bytes=1024**2)
+        with faults.inject("site=spill.write,error=enospc,count=1"):
+            with pytest.raises(SpillCapacityError) as excinfo:
+                _spill_one(store)
+        message = str(excinfo.value)
+        assert str(store.directory) in message
+        assert "out of disk space" in message
+        assert store.stats()["capacity_errors"] == 1
+        # No partial shard files survive the failed spill.
+        assert not list(store.directory.glob("shard-*"))
+        # The store keeps working once space is back.
+        handle = _spill_one(store)
+        store.load(handle)
+
+    def test_spill_frame_degrades_to_resident_on_full_disk(self):
+        frame = _frame()
+        store = SpillStore(budget_bytes=512)
+        with faults.inject("site=spill.write,error=enospc"):
+            spilled = spill_frame(frame, store=store, chunk_size=7)
+        # Nothing spilled, but the frame is bit-identical and usable.
+        for name in spilled.column_names:
+            assert not isinstance(spilled.column(name), SpilledChunkedColumn)
+        assert spilled.to_monolithic() == frame
+
+    def test_partial_column_spill_releases_its_handles(self):
+        """ENOSPC halfway through a column must not leak the shards
+        already written."""
+        frame = _frame(80)
+        store = SpillStore(budget_bytes=512)
+        with faults.inject("site=spill.write,error=enospc,after=3"):
+            spilled = spill_frame(frame, store=store, chunk_size=7)
+        assert spilled.to_monolithic() == frame
+        assert not list(store.directory.glob("shard-*"))
+
+    def test_chunked_ingest_survives_full_disk(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.csv"
+        write_csv(_frame(), path)
+        monkeypatch.setenv(SPILL_BUDGET_ENV, "1k")
+        plain = read_csv_chunked(path, chunk_size=7)
+        with faults.inject("site=spill.write,error=enospc,after=2"):
+            degraded = read_csv_chunked(path, chunk_size=7)
+        assert degraded == plain
+        # Degraded columns are resident, and their early-spilled shard
+        # files were pulled back and deleted.
+        column = degraded.column("x")
+        assert not (
+            isinstance(column, SpilledChunkedColumn) and column.spilled
+        )
+
+
+# ----------------------------------------------------------------------
+# Transient faults: absorbed by internal retries, results identical
+# ----------------------------------------------------------------------
+class TestTransientAbsorption:
+    def test_transient_write_faults_absorbed(self):
+        store = SpillStore(budget_bytes=1024**2)
+        with faults.inject("site=spill.write,error=transient,count=2"):
+            handle = _spill_one(store)
+        data, _ = store.load(handle)
+        assert np.array_equal(np.asarray(data), np.arange(50, dtype=np.float64))
+        assert store.stats()["transient_retries"] == 2
+
+    def test_transient_read_faults_absorbed(self):
+        store = SpillStore(budget_bytes=1024**2)
+        handle = _spill_one(store)
+        with faults.inject("site=spill.read,error=transient,count=2"):
+            data, mask = store.load(handle)
+        assert np.array_equal(np.asarray(data), np.arange(50, dtype=np.float64))
+        assert store.stats()["transient_retries"] == 2
+        assert store.stats()["loads"] == 1  # counted once, not per attempt
+
+    def test_persistent_transient_faults_eventually_propagate(self):
+        store = SpillStore(budget_bytes=1024**2)
+        with faults.inject("site=spill.write,error=transient"):
+            with pytest.raises(faults.TransientFaultError):
+                _spill_one(store)
+
+
+# ----------------------------------------------------------------------
+# release(): failures are counted, not swallowed
+# ----------------------------------------------------------------------
+class TestReleaseErrors:
+    def test_unlink_failure_counted_and_logged_once(self, monkeypatch, caplog):
+        import logging
+
+        store = SpillStore(budget_bytes=1024**2)
+        first = _spill_one(store)
+        second = _spill_one(store)
+
+        def refuse(self, missing_ok=False):
+            raise OSError(13, "Permission denied")
+
+        monkeypatch.setattr(Path, "unlink", refuse)
+        with caplog.at_level(logging.WARNING, logger="repro.dataframe.spill"):
+            store.release(first)
+            store.release(second)
+        assert store.stats()["release_errors"] == 4  # two files per shard
+        warnings = [
+            record
+            for record in caplog.records
+            if "failed to delete spilled shard file" in record.getMessage()
+        ]
+        assert len(warnings) == 1  # first occurrence only
+
+    def test_release_errors_reach_the_rest_spill_endpoint(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.api import TestClient, create_app
+        from repro.core import DataLens
+
+        monkeypatch.delenv(SPILL_BUDGET_ENV, raising=False)
+        lens = DataLens(tmp_path, spill_budget=4096)
+        lens.ingest_frame("d", _frame())
+        client = TestClient(create_app(lens))
+        response = client.get("/datasets/d/spill")
+        assert response.status == 200
+        for counter in (
+            "release_errors",
+            "capacity_errors",
+            "checksum_failures",
+            "transient_retries",
+        ):
+            assert response.body[counter] == 0
+
+
+# ----------------------------------------------------------------------
+# Orphaned spill directories
+# ----------------------------------------------------------------------
+class TestOrphanSweeper:
+    def test_store_advertises_its_owner_pid(self):
+        store = SpillStore(budget_bytes=1024)
+        owner = json.loads((store.directory / "owner.json").read_text())
+        assert owner["pid"] == os.getpid()
+
+    def test_dead_owner_is_swept_live_owner_is_kept(self, tmp_path):
+        dead = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(dead.stdout)
+        orphan = tmp_path / "datalens-spill-orphan"
+        orphan.mkdir()
+        (orphan / "owner.json").write_text(json.dumps({"pid": dead_pid}))
+        (orphan / "shard-000000.values.npy").write_bytes(b"junk")
+        mine = tmp_path / "datalens-spill-mine"
+        mine.mkdir()
+        (mine / "owner.json").write_text(json.dumps({"pid": os.getpid()}))
+        removed = sweep_orphaned_spill_dirs(base=tmp_path)
+        assert removed == [orphan]
+        assert not orphan.exists()
+        assert mine.exists()
+
+    def test_unreadable_owner_respects_grace_period(self, tmp_path):
+        stale = tmp_path / "datalens-spill-stale"
+        stale.mkdir()
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "datalens-spill-fresh"
+        fresh.mkdir()
+        removed = sweep_orphaned_spill_dirs(base=tmp_path, grace_seconds=3600)
+        assert removed == [stale]
+        assert fresh.exists()
+
+    def test_non_spill_dirs_untouched(self, tmp_path):
+        other = tmp_path / "important-data"
+        other.mkdir()
+        old = time.time() - 7200
+        os.utime(other, (old, old))
+        assert sweep_orphaned_spill_dirs(base=tmp_path) == []
+        assert other.exists()
+
+    def test_controller_startup_sweeps_spill_base(self, tmp_path, monkeypatch):
+        from repro.core import DataLens
+        from repro.dataframe.spill import SPILL_DIR_ENV
+
+        base = tmp_path / "spillbase"
+        base.mkdir()
+        stale = base / "datalens-spill-crashed"
+        stale.mkdir()
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        monkeypatch.setenv(SPILL_DIR_ENV, str(base))
+        DataLens(tmp_path / "workspace")
+        assert not stale.exists()
